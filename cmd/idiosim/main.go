@@ -1,0 +1,311 @@
+// Command idiosim regenerates the paper's figures from the simulator.
+//
+// Usage:
+//
+//	idiosim -exp fig10                    # one experiment, table to stdout
+//	idiosim -exp all -csv out/            # everything, timelines as CSV
+//	idiosim -exp fig9 -quick              # reduced-size run (CI-friendly)
+//	idiosim -exp verify                   # PASS/FAIL reproduction claims
+//	idiosim -report report.md             # full markdown report
+//	idiosim -scenario s.json -stats s.txt # custom JSON scenario + stats dump
+//
+// Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
+// ablations verify all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"idio/internal/experiment"
+	"idio/internal/scenario"
+	"idio/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|verify|all")
+	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
+	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
+	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a named experiment")
+	statsPath := flag.String("stats", "", "write a flat key=value stats dump for -scenario runs")
+	reportPath := flag.String("report", "", "regenerate everything and write a markdown report to this path")
+	flag.Parse()
+
+	runner := &runner{csvDir: *csvDir, quick: *quick}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath, *statsPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := experiment.WriteReport(f, experiment.ReportOpts{Quick: *quick}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[report written to %s]\n", *reportPath)
+		return
+	}
+
+	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations"}
+	targets := []string{*exp}
+	if *exp == "all" {
+		targets = all
+	}
+	for _, name := range targets {
+		start := time.Now()
+		if err := runner.run(name); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type runner struct {
+	csvDir string
+	quick  bool
+}
+
+// scale shrinks a figure's geometry for -quick runs.
+const (
+	quickRing = 256
+	quickMLC  = 256 << 10
+	quickLLC  = 768 << 10
+)
+
+func (r *runner) run(name string) error {
+	switch name {
+	case "fig4":
+		opts := experiment.DefaultFig4Opts()
+		if r.quick {
+			opts.Rings = []int{64, quickRing}
+			opts.OneWayRings = []int{quickRing}
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+			opts.Loads["low"] = 0.5
+		}
+		rows := experiment.Fig4(opts)
+		return experiment.WriteTable(os.Stdout, "Fig 4: MLC/DRAM leaks vs load and ring size (DDIO baseline)",
+			experiment.Fig4Header(), experiment.Rows(rows))
+
+	case "fig5":
+		opts := experiment.DefaultFig5Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		res := experiment.Fig5(opts)
+		fmt.Printf("== Fig 5: bursty TouchDrop under DDIO ==\n")
+		fmt.Printf("processed=%d  totalMLCWB=%d  totalLLCWB=%d  (timeline: %d buckets)\n",
+			res.Processed, res.TotalMLCWB, res.TotalLLCWB, len(res.MLCWB.Points))
+		return r.csv("fig5_timeline.csv", res.MLCWB, res.LLCWB, res.DMA)
+
+	case "fig9":
+		opts := experiment.DefaultFig9Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		cells := experiment.Fig9(opts)
+		rows := make([]experiment.TableRow, len(cells))
+		for i, c := range cells {
+			rows[i] = c
+		}
+		if err := experiment.WriteTable(os.Stdout, "Fig 9: per-mechanism burst comparison (2x TouchDrop)",
+			experiment.Fig9Header(), rows); err != nil {
+			return err
+		}
+		for _, c := range cells {
+			name := fmt.Sprintf("fig9_%s_%.0fG.csv", c.Policy.Name(), c.RateGbps)
+			if err := r.csv(name, c.MLCWB, c.LLCWB, c.DMA); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case "fig10":
+		opts := experiment.DefaultFig10Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		rows := experiment.Fig10(opts)
+		return experiment.WriteTable(os.Stdout,
+			"Fig 10: Static/IDIO normalized to DDIO (lower is better)",
+			experiment.Fig10Header(), experiment.Rows(rows))
+
+	case "fig11":
+		opts := experiment.DefaultFig11Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+		}
+		res := experiment.Fig11(opts)
+		fmt.Printf("== Fig 11: L2Fwd (zero-copy shallow NF), %d-byte packets ==\n", opts.FrameLen)
+		fmt.Printf("DDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
+			res.DDIO.Summary.MLCWB, res.DDIO.Summary.LLCWB, res.DDIO.Summary.DRAMWrites, res.DDIO.Summary.ExeTimeUS)
+		fmt.Printf("IDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
+			res.IDIO.Summary.MLCWB, res.IDIO.Summary.LLCWB, res.IDIO.Summary.DRAMWrites, res.IDIO.Summary.ExeTimeUS)
+		fmt.Printf("Direct-DRAM variant (class-1 payload): RX=%.2f Gbps, DRAM write=%.2f Gbps\n",
+			res.DirectDRAM.RxGbps, res.DirectDRAM.DRAMWriteGbps)
+		if err := r.csv("fig11_ddio.csv", res.DDIO.MLCWB, res.DDIO.LLCWB); err != nil {
+			return err
+		}
+		return r.csv("fig11_idio.csv", res.IDIO.MLCWB, res.IDIO.LLCWB)
+
+	case "fig12":
+		opts := experiment.DefaultFig12Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+		}
+		rows := experiment.Fig12(opts)
+		return experiment.WriteTable(os.Stdout,
+			"Fig 12: p50/p99 latency normalized to DDIO solo",
+			experiment.Fig12Header(), experiment.Rows(rows))
+
+	case "fig13":
+		opts := experiment.DefaultFig13Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+			opts.Packets = 2048
+		}
+		res := experiment.Fig13(opts)
+		fmt.Printf("== Fig 13: steady traffic (10 Gbps per TouchDrop) ==\n")
+		fmt.Printf("DDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
+			res.DDIO.Summary.MLCWB, res.DDIO.Summary.LLCWB, res.DDIO.Summary.Drops, res.DDIO.Summary.P99US)
+		fmt.Printf("IDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
+			res.IDIO.Summary.MLCWB, res.IDIO.Summary.LLCWB, res.IDIO.Summary.Drops, res.IDIO.Summary.P99US)
+		if err := r.csv("fig13_ddio.csv", res.DDIO.MLCWB, res.DDIO.LLCWB); err != nil {
+			return err
+		}
+		return r.csv("fig13_idio.csv", res.IDIO.MLCWB, res.IDIO.LLCWB)
+
+	case "fig14":
+		opts := experiment.DefaultFig14Opts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		rows := experiment.Fig14(opts)
+		return experiment.WriteTable(os.Stdout,
+			"Fig 14: IDIO sensitivity to mlcTHR at 100 Gbps (normalized to DDIO)",
+			experiment.Fig14Header(), experiment.Rows(rows))
+
+	case "breakdown":
+		opts := experiment.DefaultBreakdownOpts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		rows := experiment.Breakdown(opts)
+		return experiment.WriteTable(os.Stdout,
+			"Latency breakdown (us): notification / queueing / service",
+			experiment.BreakdownHeader(), experiment.Rows(rows))
+
+	case "verify":
+		if failed := experiment.Verify(os.Stdout); failed > 0 {
+			return fmt.Errorf("%d reproduction claims failed", failed)
+		}
+		return nil
+
+	case "ablations":
+		opts := experiment.DefaultAblationOpts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		var rows []experiment.AblationRow
+		rows = append(rows, experiment.AblationDDIOWays(opts, []int{1, 2, 4})...)
+		rows = append(rows, experiment.AblationRingSize(opts, []int{64, 256, opts.RingSize})...)
+		rows = append(rows, experiment.AblationPrefetchDepth(opts, []int{4, 32, 128})...)
+		rows = append(rows, experiment.AblationDescCoalescing(opts,
+			[]sim.Duration{0, 1900 * sim.Nanosecond, 20 * sim.Microsecond})...)
+		hot := opts
+		hot.RateGbps = 100
+		rows = append(rows, experiment.AblationAdaptivePrefetch(hot)...)
+		rows = append(rows, experiment.AblationMLP(hot, []int{1, 4, 8, 32})...)
+		rows = append(rows, experiment.AblationReplacement(opts)...)
+		rows = append(rows, experiment.AblationInclusion(opts)...)
+		rows = append(rows, experiment.AblationFrameSize(opts, []int{128, 512, 1514})...)
+		if err := experiment.WriteTable(os.Stdout, "Ablations: design-choice sweeps (Fig. 9 scenario)",
+			experiment.AblationHeader(), experiment.Rows(rows)); err != nil {
+			return err
+		}
+		baseOpts := experiment.DefaultBaselineOpts()
+		if r.quick {
+			baseOpts.RingSize = quickRing
+			baseOpts.MLCSize, baseOpts.LLCSize = quickMLC, quickLLC
+		}
+		return experiment.WriteTable(os.Stdout,
+			"Baselines: static DDIO vs IAT-style dynamic ways vs IDIO (100 Gbps burst)",
+			experiment.BaselineHeader(), experiment.Rows(experiment.Baselines(baseOpts)))
+
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+// csv writes series into the CSV directory; a no-op when -csv is
+// unset.
+func (r *runner) csv(name string, series ...experiment.Series) error {
+	if r.csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(r.csvDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiment.WriteSeriesCSV(f, series...)
+}
+
+// runScenario executes a JSON scenario file and prints its summary,
+// optionally writing a flat stats dump.
+func runScenario(path, statsPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc, err := scenario.Load(f)
+	if err != nil {
+		return err
+	}
+	res, cpi, err := scenario.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== scenario %q (%s) ==\n", sc.Name, sc.Policy)
+	fmt.Print(res)
+	if cpi > 0 {
+		fmt.Printf("  antagonist CPI: %.1f\n", cpi)
+	}
+	if statsPath != "" {
+		sf, err := os.Create(statsPath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		if err := res.WriteStats(sf); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[stats written to %s]\n", statsPath)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idiosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+package idio_test
+
+// Runnable godoc examples for the public API. They double as smoke
+// tests: `go test` verifies the printed output.
+
+import (
+	"fmt"
+
+	"idio"
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+// ExampleNewSystem builds the Table I system, runs one small burst
+// under full IDIO, and prints the headline counters.
+func ExampleNewSystem() {
+	cfg := idio.Gem5Config()
+	cfg.Policy = idiocore.PolicyIDIO
+	cfg.NIC.RingSize = 128
+
+	sys := idio.NewSystem(cfg)
+	for core := 0; core < cfg.NumCores(); core++ {
+		flow := sys.DefaultFlow(core)
+		sys.AddNF(core, apps.TouchDrop{}, flow)
+		traffic.Bursty{
+			Flow:            flow,
+			BurstRateBps:    traffic.Gbps(25),
+			Period:          10 * sim.Millisecond,
+			PacketsPerBurst: 128,
+			NumBursts:       1,
+		}.Install(sys.Sim, sys.NIC)
+	}
+	res := sys.RunUntilIdle(9 * sim.Millisecond)
+	fmt.Printf("processed=%d drops=%d mlcWB=%d llcWB=%d dramWrites=%d\n",
+		res.TotalProcessed(), res.NIC.RxDrops,
+		res.Hier.MLCWriteback, res.Hier.LLCWriteback, res.DRAMWrites)
+	// Output:
+	// processed=256 drops=0 mlcWB=0 llcWB=0 dramWrites=0
+}
+
+// ExampleConfig_policies contrasts the evaluation's named policies on
+// the same burst.
+func ExampleConfig_policies() {
+	run := func(policy idiocore.Policy) uint64 {
+		cfg := idio.Gem5Config()
+		cfg.Policy = policy
+		// Scale ring and caches together so the ring footprint exceeds
+		// the MLC (the regime where recycling policy matters).
+		cfg.NIC.RingSize = 256
+		cfg.Hier.MLCSize = 256 << 10
+		cfg.Hier.LLCSize = 768 << 10
+		sys := idio.NewSystem(cfg)
+		flow := sys.DefaultFlow(0)
+		sys.AddNF(0, apps.TouchDrop{}, flow)
+		traffic.Bursty{
+			Flow: flow, BurstRateBps: traffic.Gbps(25),
+			Period: 10 * sim.Millisecond, PacketsPerBurst: 256, NumBursts: 1,
+		}.Install(sys.Sim, sys.NIC)
+		return sys.RunUntilIdle(9 * sim.Millisecond).Hier.MLCWriteback
+	}
+	ddio := run(idiocore.PolicyDDIO)
+	idioWB := run(idiocore.PolicyIDIO)
+	fmt.Printf("DDIO writes back, IDIO does not: %v\n", ddio > 0 && idioWB == 0)
+	// Output:
+	// DDIO writes back, IDIO does not: true
+}

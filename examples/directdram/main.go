@@ -1,0 +1,63 @@
+// directdram demonstrates IDIO's selective direct DRAM access
+// (Sec. IV-C / Fig. 11): a DoS-detection-style firewall inspects only
+// packet headers and drops payloads. The sender marks the flow as
+// application class 1 via the IP DSCP field; IDIO then steers payload
+// cachelines straight to DRAM, keeping them out of the LLC entirely,
+// while headers still arrive through the cache hierarchy.
+//
+//	go run ./examples/directdram
+package main
+
+import (
+	"fmt"
+
+	"idio"
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+	"idio/internal/stats"
+	"idio/internal/traffic"
+)
+
+func run(policy idiocore.Policy, classOne bool) idio.Results {
+	cfg := idio.Gem5Config()
+	cfg.Policy = policy
+	if classOne {
+		// The receiver's NIC classifier maps DSCP 46 to class 1.
+		cfg.Classifier.ClassOneDSCPs = []uint8{46}
+	}
+
+	sys := idio.NewSystem(cfg)
+	for core := 0; core < cfg.NumCores(); core++ {
+		flow := sys.DefaultFlow(core)
+		if classOne {
+			flow.DSCP = 46 // sender marks its class via setsockopt (Sec. V-A)
+		}
+		sys.AddNF(core, apps.L2FwdDropPayload{}, flow)
+		traffic.Steady{
+			Flow:    flow,
+			RateBps: traffic.Gbps(10),
+			Count:   4096,
+		}.Install(sys.Sim, sys.NIC)
+	}
+	return sys.RunUntilIdle(20 * sim.Millisecond)
+}
+
+func main() {
+	base := run(idiocore.PolicyDDIO, false)
+	direct := run(idiocore.PolicyIDIO, true)
+
+	report := func(name string, r idio.Results) {
+		span := r.Now.Sub(0)
+		fmt.Printf("%-22s rx=%5.1f Gbps  llcWB=%6d  dramWr=%5.1f Gbps  directDRAM=%6d  p99=%.1fus\n",
+			name, stats.Gbps(r.NIC.RxBytes, span), r.Hier.LLCWriteback,
+			stats.Gbps(r.DRAMWrites*64, span), r.Hier.DDIOToDRAM,
+			r.P99Across().Microseconds())
+	}
+	fmt.Println("header-only firewall, payloads never read:")
+	report("DDIO (class 0)", base)
+	report("IDIO (class 1, DSCP)", direct)
+	fmt.Println("\nwith class-1 steering the payload bypasses the cache hierarchy:")
+	fmt.Printf("  DDIO keeps %d I/O lines churning the LLC; IDIO sends %d lines straight to DRAM\n",
+		base.Hier.DDIOAlloc+base.Hier.DDIOUpdate, direct.Hier.DDIOToDRAM)
+}

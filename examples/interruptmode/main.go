@@ -1,0 +1,56 @@
+// interruptmode contrasts the two notification models of Sec. II-A on
+// the same light workload: a DPDK-style polling-mode driver (burns a
+// core, minimal latency) versus a NAPI-style interrupt driver (sleeps
+// between packets, pays a wake-up cost per burst). Run with IDIO
+// enabled in both cases.
+//
+//	go run ./examples/interruptmode
+package main
+
+import (
+	"fmt"
+
+	"idio"
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/cpu"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+func run(driver cpu.Driver) (idio.Results, uint64) {
+	cfg := idio.Gem5Config()
+	cfg.Policy = idiocore.PolicyIDIO
+	cfg.CPU.Driver = driver
+
+	sys := idio.NewSystem(cfg)
+	for core := 0; core < cfg.NumCores(); core++ {
+		flow := sys.DefaultFlow(core)
+		sys.AddNF(core, apps.TouchDrop{}, flow)
+		// A light 2 Gbps trickle: the regime where interrupt mode's
+		// efficiency argument applies.
+		traffic.Steady{Flow: flow, RateBps: traffic.Gbps(2), Count: 2048}.Install(sys.Sim, sys.NIC)
+	}
+	res := sys.RunUntilIdle(20 * sim.Millisecond)
+	var irqs uint64
+	for _, c := range sys.Cores {
+		if c != nil {
+			irqs += c.Interrupts
+		}
+	}
+	return res, irqs
+}
+
+func main() {
+	pmd, _ := run(cpu.DriverPolling)
+	irq, wakeups := run(cpu.DriverInterrupt)
+
+	fmt.Println("2x TouchDrop, steady 2 Gbps each, IDIO policy")
+	fmt.Printf("%-10s p50=%6.2fus  p99=%6.2fus\n",
+		"polling", pmd.P50Across().Microseconds(), pmd.P99Across().Microseconds())
+	fmt.Printf("%-10s p50=%6.2fus  p99=%6.2fus  (%d interrupt wake-ups)\n",
+		"interrupt", irq.P50Across().Microseconds(), irq.P99Across().Microseconds(), wakeups)
+	fmt.Printf("\ninterrupt mode adds ~%.1fus of wake-up latency per packet but lets the core sleep;\n",
+		irq.P50Across().Microseconds()-pmd.P50Across().Microseconds())
+	fmt.Println("polling burns the core for the lowest latency — the trade Sec. II-A describes.")
+}

@@ -1,0 +1,89 @@
+// multiflow runs a stateful NAT server handling many flows spread
+// across cores by the NIC's hardware steering: flows hash through
+// Toeplitz RSS onto per-core queues (no manual pinning), with a few
+// elephant flows pinned via Flow Director ATR learning. Arrivals are
+// Poisson, the realistic worst case for tail latency.
+//
+//	go run ./examples/multiflow
+package main
+
+import (
+	"fmt"
+
+	"idio"
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+const (
+	cores    = 4
+	nFlows   = 64
+	perFlow  = 256 // packets per flow
+	flowGbps = 0.5
+)
+
+func buildFlows() []traffic.Flow {
+	flows := make([]traffic.Flow, nFlows)
+	for i := range flows {
+		flows[i] = traffic.Flow{
+			Src: pkt.IPv4{10, 1, byte(i / 256), byte(i % 256)}, Dst: pkt.IPv4{10, 0, 0, 1},
+			SrcPort: uint16(20000 + i), DstPort: 443,
+			FrameLen: 512,
+		}
+	}
+	return flows
+}
+
+func run(policy idiocore.Policy) (idio.Results, []uint64) {
+	cfg := idio.DefaultConfig(cores)
+	cfg.Policy = policy
+	sys := idio.NewSystem(cfg)
+
+	// One NAT instance per core, each with its own 1 MB flow table.
+	for c := 0; c < cores; c++ {
+		nat := &apps.NAT{Table: sys.AllocRegion(1 << 20)}
+		// AddNF pins a default flow, but this workload relies on RSS:
+		// register the NF without meaningful EP traffic.
+		sys.AddNF(c, nat, sys.DefaultFlow(c))
+	}
+
+	flows := buildFlows()
+	for i, f := range flows {
+		// A few "elephant" flows get ATR-learned onto core 0 (as the
+		// NIC would after observing their TX side); the rest spread by
+		// RSS.
+		if i < 4 {
+			sys.FlowDir.Learn(f.Tuple(), 0)
+		}
+		traffic.Poisson{
+			Flow: f, RateBps: traffic.Gbps(flowGbps),
+			Count: perFlow, Seed: int64(i + 1),
+		}.Install(sys.Sim, sys.NIC)
+	}
+	res := sys.RunUntilIdle(50 * sim.Millisecond)
+	perCore := make([]uint64, cores)
+	for c, cr := range res.Cores {
+		perCore[c] = cr.Processed
+	}
+	return res, perCore
+}
+
+func main() {
+	ddio, distDDIO := run(idiocore.PolicyDDIO)
+	idioRes, distIDIO := run(idiocore.PolicyIDIO)
+
+	fmt.Printf("%d flows x %d packets over %d cores (RSS + 4 ATR-pinned elephants)\n\n",
+		nFlows, perFlow, cores)
+	fmt.Printf("%-6s total=%5d drops=%3d p99=%6.1fus  per-core=%v\n",
+		"DDIO", ddio.TotalProcessed(), ddio.NIC.RxDrops,
+		ddio.P99Across().Microseconds(), distDDIO)
+	fmt.Printf("%-6s total=%5d drops=%3d p99=%6.1fus  per-core=%v\n",
+		"IDIO", idioRes.TotalProcessed(), idioRes.NIC.RxDrops,
+		idioRes.P99Across().Microseconds(), distIDIO)
+	fmt.Printf("\nIDIO trims the Poisson tail by %.1f%% while the NAT tables and DMA buffers\n",
+		100*(1-idioRes.P99Across().Seconds()/ddio.P99Across().Seconds()))
+	fmt.Println("share the hierarchy; RSS keeps the load spread without any manual pinning.")
+}

@@ -1,0 +1,74 @@
+package idio
+
+// Spec-level walk of Fig. 2: the two application categories' data
+// movement. Application "A" (shallow: header-only, e.g. a forwarder)
+// pulls only the packet's first cacheline into its core's caches;
+// application "B" (deep: full inspection) pulls header and payload.
+// Both leave whatever they did not consume in the LLC, from where the
+// payload either leaks or bloats.
+
+import (
+	"testing"
+
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/mem"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+func runFig2(t *testing.T, shallow bool) (*System, mem.Region) {
+	t.Helper()
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	if shallow {
+		sys.AddNF(0, apps.L2FwdDropPayload{}, flow)
+	} else {
+		sys.AddNF(0, apps.TouchDrop{}, flow)
+	}
+	traffic.Steady{Flow: flow, RateBps: traffic.Gbps(1), Count: 1}.Install(sys.Sim, sys.NIC)
+	sys.Start()
+	sys.Sim.RunUntil(sim.Time(2 * sim.Millisecond))
+	slot := &sys.NIC.Ring(0).Slots()[0]
+	return sys, mem.Region{Base: slot.Buf.Base, Size: 1514}
+}
+
+func TestFig2ShallowApplicationA(t *testing.T) {
+	sys, payload := runFig2(t, true)
+	// A-2.x: only the header line moved to the core's MLC...
+	if got := sys.Hier.Residency(payload.Base.Line()); got != "mlc0" {
+		t.Fatalf("header resides in %q, want mlc0", got)
+	}
+	// ...while every payload line stayed in the LLC (steps A-1 only).
+	n := 0
+	payload.Lines(func(l mem.LineAddr) {
+		if l == payload.Base.Line() {
+			return
+		}
+		if got := sys.Hier.Residency(l); got != "llc" {
+			t.Fatalf("payload line %v resides in %q, want llc", l, got)
+		}
+		n++
+	})
+	if n != payload.NumLines()-1 {
+		t.Fatalf("checked %d payload lines", n)
+	}
+	// Exactly one demand access (the header).
+	if d := sys.Hier.Demand(0); d.Total() != 1 {
+		t.Fatalf("shallow app made %d demand accesses", d.Total())
+	}
+}
+
+func TestFig2DeepApplicationB(t *testing.T) {
+	sys, payload := runFig2(t, false)
+	// B-2.x: header and payload all moved into the core's MLC.
+	payload.Lines(func(l mem.LineAddr) {
+		if got := sys.Hier.Residency(l); got != "mlc0" {
+			t.Fatalf("line %v resides in %q, want mlc0", l, got)
+		}
+	})
+	if d := sys.Hier.Demand(0); d.Total() != uint64(payload.NumLines()) {
+		t.Fatalf("deep app made %d demand accesses, want %d", d.Total(), payload.NumLines())
+	}
+}

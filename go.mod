@@ -1,0 +1,3 @@
+module idio
+
+go 1.22

@@ -1,0 +1,439 @@
+// Package cpu models the processing side of the system: a per-core
+// polling-mode driver (PMD) in the style of DPDK, batch packet
+// processing with run-to-completion semantics (Sec. II-B, mode M3),
+// and the glue that lets network-function models touch memory through
+// the simulated cache hierarchy.
+//
+// Timing model: each packet costs a fixed instruction overhead
+// (PerPacketCycles, covering driver + application compute) plus the
+// accumulated latency of its memory accesses, which are resolved
+// against the hierarchy. Packets are processed one per simulator event
+// so DMA traffic and CPU progress interleave at sub-microsecond
+// granularity — the interleaving that produces the DMA-phase /
+// execution-phase dynamics of Fig. 5 and Fig. 9.
+package cpu
+
+import (
+	"idio/internal/hier"
+	"idio/internal/mem"
+	"idio/internal/nic"
+	"idio/internal/sim"
+	"idio/internal/stats"
+)
+
+// Driver selects the notification model (Sec. II-A: completions can
+// be signalled by interrupts or detected by a polling-mode driver).
+type Driver int
+
+const (
+	// DriverPolling is the DPDK-style PMD: the core spins, re-polling
+	// every PollInterval when idle.
+	DriverPolling Driver = iota
+	// DriverInterrupt is a NAPI-style driver: the core sleeps until
+	// the NIC's completion interrupt fires, pays IRQLatency to wake,
+	// processes until the ring drains, then re-arms the interrupt.
+	DriverInterrupt
+)
+
+// Config tunes one processing core.
+type Config struct {
+	// Driver selects polling or interrupt notification.
+	Driver Driver
+	// IRQLatency is the wake-up cost in interrupt mode (context
+	// switch + handler entry).
+	IRQLatency sim.Duration
+	// BatchSize is the PMD burst size (DPDK default 32).
+	BatchSize int
+	// PollInterval is the idle re-poll spacing.
+	PollInterval sim.Duration
+	// PerPacketCycles is the fixed instruction cost per packet
+	// (driver + application compute, excluding memory stalls).
+	PerPacketCycles int64
+	// MSHRs bounds how many of a packet's line fetches may overlap
+	// (memory-level parallelism). 1 serialises every access — the
+	// calibrated default for this repo's service-time model; Table I's
+	// out-of-order cores sustain up to 32. The MLP ablation shows how
+	// overlap compresses cache-placement effects into smaller
+	// execution-time deltas.
+	MSHRs int
+	// SelfInvalidate makes the stack invalidate DMA buffers (payload
+	// and descriptor lines) without writeback when freeing them —
+	// IDIO's Sec. IV-A mechanism.
+	SelfInvalidate bool
+	// InvalCyclesPerLine is the instruction cost of the
+	// multi-cacheline invalidate (Sec. V-D) charged per invalidated
+	// line when SelfInvalidate is on — the mechanism is cheap but not
+	// free.
+	InvalCyclesPerLine int64
+	// TraceCapacity enables per-packet stage tracing when > 0,
+	// retaining up to that many records (oldest first).
+	TraceCapacity int
+}
+
+// TraceRecord captures one packet's life-cycle timestamps, letting
+// experiments split end-to-end latency into notification delay
+// (descriptor coalescing), queueing delay (waiting behind the
+// backlog), and service time (driver + NF processing).
+type TraceRecord struct {
+	Seq     uint64
+	Arrival sim.Time // frame fully received at the NIC
+	Ready   sim.Time // descriptor write-back visible to the driver
+	Start   sim.Time // processing began on the core
+	Done    sim.Time // NF finished with the packet
+}
+
+// NotifyDelay is the descriptor-visibility lag.
+func (r TraceRecord) NotifyDelay() sim.Duration { return r.Ready.Sub(r.Arrival) }
+
+// QueueDelay is time spent waiting for the core.
+func (r TraceRecord) QueueDelay() sim.Duration { return r.Start.Sub(r.Ready) }
+
+// ServiceTime is the processing time proper.
+func (r TraceRecord) ServiceTime() sim.Duration { return r.Done.Sub(r.Start) }
+
+// Total is the end-to-end latency.
+func (r TraceRecord) Total() sim.Duration { return r.Done.Sub(r.Arrival) }
+
+// DefaultConfig reflects the DPDK setup of Sec. VI on the Table I
+// core: 32-packet bursts and a per-packet cost calibrated so a single
+// core saturates at ~12 Gbps of MTU traffic (the drop threshold the
+// paper reports).
+func DefaultConfig() Config {
+	return Config{
+		Driver:          DriverPolling,
+		IRQLatency:      3 * sim.Microsecond,
+		BatchSize:       32,
+		PollInterval:    200 * sim.Nanosecond,
+		PerPacketCycles: 1800,
+		MSHRs:           1,
+		// One cycle per line: the multi-cacheline invalidate iterates
+		// set lookups but needs no data movement.
+		InvalCyclesPerLine: 1,
+	}
+}
+
+// App is a network-function model. OnPacket performs the packet's
+// memory accesses through env and returns any additional processing
+// latency beyond env-accumulated memory time, plus whether the slot's
+// release is deferred (the app will call env.FreeSlot itself, e.g.
+// after a TX completion).
+type App interface {
+	Name() string
+	OnPacket(env *Env, slot *nic.Slot) (extra sim.Duration, deferred bool)
+}
+
+// Env is the per-core execution environment handed to apps.
+type Env struct {
+	Sim    *sim.Simulator
+	CoreID int
+	Hier   *hier.Hierarchy
+	// Ports are the NICs this core receives from (one ring per port);
+	// single-port systems have exactly one entry.
+	Ports []*nic.NIC
+	// Rings are the core's RX rings, parallel to Ports.
+	Rings []*nic.Ring
+	cfg   Config
+	clock sim.Clock
+}
+
+// Transmit forwards a slot's payload back out of the port it arrived
+// on (zero-copy TX), invoking done when the TX DMA reads complete.
+// This is the lightweight egress model; TransmitQueued drives the
+// full TX-descriptor-ring path.
+func (e *Env) Transmit(slot *nic.Slot, payload mem.Region, done func(sim.Time)) {
+	slot.NIC().Transmit(e.Sim, payload, done)
+}
+
+// TransmitQueued forwards a slot's payload through the TX descriptor
+// ring: the driver writes the descriptor through the cache hierarchy
+// (the returned latency is that store cost), then the NIC fetches the
+// descriptor and payload over PCIe and writes back a completion. It
+// reports false when the TX ring is full (the packet is dropped, as a
+// real driver would on a stuck queue).
+func (e *Env) TransmitQueued(slot *nic.Slot, payload mem.Region, done func(sim.Time)) (sim.Duration, bool) {
+	port := slot.NIC()
+	tx := port.PrepareTX(e.CoreID)
+	if tx == nil {
+		return 0, false
+	}
+	var lat sim.Duration
+	tx.Desc.Lines(func(l mem.LineAddr) { lat += e.Write(l) })
+	port.KickTX(e.Sim, e.CoreID, tx, payload, done)
+	return lat, true
+}
+
+// Read performs a demand load of one line, returning its latency.
+func (e *Env) Read(line mem.LineAddr) sim.Duration {
+	return e.Hier.CoreRead(e.Sim.Now(), e.CoreID, line)
+}
+
+// Write performs a demand store of one line, returning its latency.
+func (e *Env) Write(line mem.LineAddr) sim.Duration {
+	return e.Hier.CoreWrite(e.Sim.Now(), e.CoreID, line)
+}
+
+// ReadRegion loads every line of a region, returning the region's
+// service time under the core's MSHR budget: with MSHRs == 1 the
+// latencies simply sum; with more, up to MSHRs fetches overlap and the
+// result is the critical path of the resulting schedule.
+func (e *Env) ReadRegion(r mem.Region) sim.Duration {
+	mshrs := e.cfg.MSHRs
+	if mshrs <= 1 {
+		var total sim.Duration
+		r.Lines(func(l mem.LineAddr) { total += e.Read(l) })
+		return total
+	}
+	// Mini MSHR schedule: issue in order, each fetch occupies a slot
+	// for its latency; a full MSHR file stalls issue until the oldest
+	// outstanding fetch completes.
+	var (
+		outstanding []sim.Duration // completion times relative to start
+		now         sim.Duration   // issue cursor
+		finish      sim.Duration
+	)
+	r.Lines(func(l mem.LineAddr) {
+		if len(outstanding) == mshrs {
+			// Pop the earliest completion; issue can't proceed before it.
+			min, idx := outstanding[0], 0
+			for i, c := range outstanding {
+				if c < min {
+					min, idx = c, i
+				}
+			}
+			outstanding = append(outstanding[:idx], outstanding[idx+1:]...)
+			if min > now {
+				now = min
+			}
+		}
+		done := now + e.Read(l)
+		outstanding = append(outstanding, done)
+		if done > finish {
+			finish = done
+		}
+	})
+	return finish
+}
+
+// WriteRegion stores every line of a region, returning total latency.
+func (e *Env) WriteRegion(r mem.Region) sim.Duration {
+	var total sim.Duration
+	r.Lines(func(l mem.LineAddr) { total += e.Write(l) })
+	return total
+}
+
+// FreeSlot returns a consumed slot to its ring, self-invalidating its
+// buffer and descriptor lines first when the policy says so. Slots
+// must be freed in ring order (the ring enforces it). The returned
+// duration is the instruction cost of the invalidations (zero when
+// self-invalidation is off); run-to-completion callers charge it to
+// the core before the next poll.
+func (e *Env) FreeSlot(slot *nic.Slot) sim.Duration {
+	if !e.cfg.SelfInvalidate {
+		slot.Ring().Free()
+		return 0
+	}
+	lines := slot.PayloadRegion().NumLines() + slot.Desc.NumLines()
+	e.Hier.InvalidateRegionNoWB(e.Sim.Now(), e.CoreID, slot.PayloadRegion())
+	e.Hier.InvalidateRegionNoWB(e.Sim.Now(), e.CoreID, slot.Desc)
+	slot.Ring().Free()
+	return e.invalCost(lines)
+}
+
+// invalCost converts an invalidated line count to instruction time.
+func (e *Env) invalCost(lines int) sim.Duration {
+	if e.cfg.InvalCyclesPerLine <= 0 {
+		return 0
+	}
+	return e.clock.Cycles(e.cfg.InvalCyclesPerLine * int64(lines))
+}
+
+// Core runs the polling loop for one physical core.
+type Core struct {
+	id  int
+	cfg Config
+	env Env
+	app App
+	cc  sim.Clock
+
+	// Latencies collects per-packet service latency (arrival at NIC to
+	// processing completion).
+	Latencies *stats.LatencyDist
+	Processed uint64
+	// BusyTime accumulates time spent processing (vs. idle polling).
+	BusyTime sim.Duration
+	// FirstPacketAt / LastDoneAt bracket the measurement for burst
+	// processing time (Fig. 10's Exe Time).
+	FirstPacketAt sim.Time
+	LastDoneAt    sim.Time
+	// Interrupts counts wake-ups taken in interrupt mode.
+	Interrupts uint64
+	// Trace holds per-packet stage records when tracing is enabled.
+	Trace []TraceRecord
+
+	started  bool
+	irqArmed bool
+	rrNext   int // round-robin port cursor
+}
+
+// NewCore builds a core bound to its per-port rings and an app.
+// Single-port systems pass one NIC; multi-port systems pass all ports
+// and the polling loop services them round-robin.
+func NewCore(id int, cfg Config, clock sim.Clock, h *hier.Hierarchy, ports []*nic.NIC, app App) *Core {
+	if cfg.BatchSize <= 0 {
+		panic("cpu: batch size must be positive")
+	}
+	if cfg.PollInterval <= 0 {
+		panic("cpu: poll interval must be positive")
+	}
+	env := Env{
+		CoreID: id,
+		Hier:   h,
+		Ports:  ports,
+		cfg:    cfg,
+		clock:  clock,
+	}
+	for _, p := range ports {
+		if p != nil {
+			env.Rings = append(env.Rings, p.Ring(id))
+		}
+	}
+	c := &Core{
+		id:        id,
+		cfg:       cfg,
+		app:       app,
+		cc:        clock,
+		env:       env,
+		Latencies: stats.NewLatencyDist(),
+	}
+	return c
+}
+
+// Env exposes the core's environment (used by standalone app drivers).
+func (c *Core) Env() *Env { return &c.env }
+
+// Start schedules the driver loop (polling or interrupt-driven).
+func (c *Core) Start(s *sim.Simulator) {
+	if c.started {
+		panic("cpu: core already started")
+	}
+	c.started = true
+	c.env.Sim = s
+	if len(c.env.Rings) == 0 {
+		panic("cpu: core has no RX rings")
+	}
+	switch c.cfg.Driver {
+	case DriverInterrupt:
+		for _, p := range c.env.Ports {
+			p.SetCompletionHook(c.id, c.interrupt)
+		}
+		c.irqArmed = true
+	default:
+		s.At(s.Now(), c.poll)
+	}
+}
+
+// interrupt is the NIC's completion handler: if the core was asleep,
+// wake it after the IRQ latency and disable further interrupts until
+// the ring drains (NAPI semantics).
+func (c *Core) interrupt(s *sim.Simulator) {
+	if !c.irqArmed {
+		return
+	}
+	c.irqArmed = false
+	c.Interrupts++
+	s.After(c.cfg.IRQLatency, c.poll)
+}
+
+// poll implements the driver loop: gather a burst of visible
+// descriptors and process it. When idle, a polling driver re-polls
+// after PollInterval; an interrupt driver re-arms and sleeps.
+func (c *Core) poll(s *sim.Simulator) {
+	var batch []*nic.Slot
+	// Service the ports round-robin, rotating the starting port each
+	// poll so no port starves another.
+	nRings := len(c.env.Rings)
+	start := c.rrNext
+	c.rrNext = (c.rrNext + 1) % nRings
+	empty := 0
+	for len(batch) < c.cfg.BatchSize && empty < nRings {
+		ring := c.env.Rings[start]
+		start = (start + 1) % nRings
+		slot := ring.Poll(s.Now())
+		if slot == nil {
+			empty++
+			continue
+		}
+		empty = 0
+		ring.Consume()
+		batch = append(batch, slot)
+	}
+	if len(batch) == 0 {
+		if c.cfg.Driver == DriverInterrupt {
+			c.irqArmed = true
+			return
+		}
+		s.After(c.cfg.PollInterval, c.poll)
+		return
+	}
+	if c.FirstPacketAt == 0 && c.Processed == 0 {
+		c.FirstPacketAt = s.Now()
+	}
+	c.processNext(s, batch, 0, nil)
+}
+
+// processNext handles batch[i] in its own event, then chains to the
+// next packet; after the last packet, non-deferred slots are freed in
+// ring order and the loop re-polls immediately (run to completion).
+func (c *Core) processNext(s *sim.Simulator, batch []*nic.Slot, i int, releasable []*nic.Slot) {
+	slot := batch[i]
+	start := s.Now()
+	extra, deferred := c.app.OnPacket(&c.env, slot)
+	// Memory latency accrued by OnPacket is measured by how much the
+	// app reports plus the fixed instruction cost.
+	lat := c.memLatencyOf(extra) // extra already includes mem time from env calls made by app
+	done := start.Add(lat)
+	// Capture packet identity now: a fast TX completion can recycle
+	// the slot (clearing Pkt) before the pkt-done event fires.
+	arrival := sim.Time(slot.Pkt.ArrivalTimePS)
+	seq := slot.Pkt.Seq
+	if !deferred {
+		releasable = append(releasable, slot)
+	}
+	s.AtNamed(done, "pkt-done", func(sm *sim.Simulator) {
+		c.Processed++
+		c.BusyTime += lat
+		c.LastDoneAt = sm.Now()
+		c.Latencies.Record(sm.Now().Sub(arrival))
+		if c.cfg.TraceCapacity > 0 && len(c.Trace) < c.cfg.TraceCapacity {
+			c.Trace = append(c.Trace, TraceRecord{
+				Seq:     seq,
+				Arrival: arrival,
+				Ready:   slot.ReadyAt,
+				Start:   start,
+				Done:    sm.Now(),
+			})
+		}
+		if i+1 < len(batch) {
+			c.processNext(sm, batch, i+1, releasable)
+			return
+		}
+		// End of batch: release buffers in ring order (charging the
+		// invalidate-instruction cost), then re-poll.
+		var freeCost sim.Duration
+		for _, sl := range releasable {
+			freeCost += c.env.FreeSlot(sl)
+		}
+		c.BusyTime += freeCost
+		if freeCost > 0 {
+			sm.After(freeCost, c.poll)
+			return
+		}
+		c.poll(sm)
+	})
+}
+
+// memLatencyOf combines app-reported latency with the per-packet
+// instruction cost.
+func (c *Core) memLatencyOf(appTime sim.Duration) sim.Duration {
+	return appTime + c.cc.Cycles(c.cfg.PerPacketCycles)
+}

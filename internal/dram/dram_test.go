@@ -1,0 +1,138 @@
+package dram
+
+import (
+	"testing"
+
+	"idio/internal/sim"
+)
+
+func TestUnloadedLatency(t *testing.T) {
+	d := New(FlatConfig(), 0)
+	lat := d.Read(0, 0)
+	// 64B at 25.6GB/s = 2.5ns transfer + 80ns access.
+	want := 80*sim.Nanosecond + 2500*sim.Picosecond
+	if lat != want {
+		t.Fatalf("latency = %v ps, want %v", lat, want)
+	}
+}
+
+func TestBandwidthSerialisation(t *testing.T) {
+	d := New(Config{AccessLatency: 0, BytesPerSecond: 6_400_000_000}, 0) // 10ns per line
+	l1 := d.Read(0, 0)
+	l2 := d.Read(0, 0)
+	l3 := d.Read(0, 0)
+	if l1 != 10*sim.Nanosecond || l2 != 20*sim.Nanosecond || l3 != 30*sim.Nanosecond {
+		t.Fatalf("queueing latencies %v %v %v", l1, l2, l3)
+	}
+	// After the bus drains, latency returns to unloaded.
+	l4 := d.Read(sim.Time(1*sim.Microsecond), 0)
+	if l4 != 10*sim.Nanosecond {
+		t.Fatalf("post-drain latency %v", l4)
+	}
+}
+
+func TestReadWriteShareBus(t *testing.T) {
+	d := New(Config{AccessLatency: 0, BytesPerSecond: 6_400_000_000}, 0)
+	d.Write(0, 0)
+	lat := d.Read(0, 0)
+	if lat != 20*sim.Nanosecond {
+		t.Fatalf("read after write latency %v, want 20ns", lat)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := New(FlatConfig(), 0)
+	for i := 0; i < 3; i++ {
+		d.Read(0, 0)
+	}
+	d.Write(0, 0)
+	if d.Reads() != 3 || d.Writes() != 1 {
+		t.Fatalf("reads=%d writes=%d", d.Reads(), d.Writes())
+	}
+	if d.ReadBytes() != 192 || d.WriteBytes() != 64 {
+		t.Fatalf("bytes r=%d w=%d", d.ReadBytes(), d.WriteBytes())
+	}
+}
+
+func TestTimelines(t *testing.T) {
+	d := New(FlatConfig(), 10*sim.Microsecond)
+	d.Read(sim.Time(5*sim.Microsecond), 0)
+	d.Write(sim.Time(15*sim.Microsecond), 0)
+	if d.ReadTL.Count(0) != 1 || d.WriteTL.Count(1) != 1 {
+		t.Fatal("timeline buckets not recorded")
+	}
+	dNo := New(FlatConfig(), 0)
+	if dNo.ReadTL != nil || dNo.WriteTL != nil {
+		t.Fatal("timelines must be nil when disabled")
+	}
+	dNo.Read(0, 0) // must not panic
+}
+
+func TestZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{AccessLatency: 1, BytesPerSecond: 0}, 0)
+}
+
+func TestRowBufferHitsAndMisses(t *testing.T) {
+	cfg := Config{
+		BytesPerSecond: 25_600_000_000,
+		Banks:          4, RowBytes: 4096,
+		RowHitLatency: 40 * sim.Nanosecond, RowMissLatency: 100 * sim.Nanosecond,
+	}
+	d := New(cfg, 0)
+	// First access to a row: miss; subsequent lines of the same row: hits.
+	// 4096B row = 64 lines.
+	lat0 := d.Read(0, 0)
+	if lat0 < 100*sim.Nanosecond {
+		t.Fatalf("cold access must row-miss: %v", lat0)
+	}
+	lat1 := d.Read(sim.Time(sim.Microsecond), 1)
+	if lat1 >= 100*sim.Nanosecond {
+		t.Fatalf("same-row access must hit: %v", lat1)
+	}
+	if d.RowHits() != 1 || d.RowMisses() != 1 {
+		t.Fatalf("hits=%d misses=%d", d.RowHits(), d.RowMisses())
+	}
+	// A different row on the same bank evicts the open row.
+	// Row r maps to bank r%4; rows 0 and 4 share bank 0.
+	d.Read(sim.Time(2*sim.Microsecond), 4*64) // row 4 -> bank 0
+	lat3 := d.Read(sim.Time(3*sim.Microsecond), 2)
+	if lat3 < 100*sim.Nanosecond {
+		t.Fatalf("conflicting row must miss: %v", lat3)
+	}
+}
+
+func TestSequentialStreamMostlyRowHits(t *testing.T) {
+	d := New(DefaultConfig(), 0)
+	for l := uint64(0); l < 1024; l++ {
+		d.Read(sim.Time(int64(l)*int64(sim.Microsecond)), l)
+	}
+	// 8KB rows = 128 lines: 1024 sequential lines = 8 misses, 1016 hits.
+	if d.RowMisses() != 8 || d.RowHits() != 1016 {
+		t.Fatalf("sequential stream: hits=%d misses=%d", d.RowHits(), d.RowMisses())
+	}
+}
+
+func TestRandomStreamMostlyRowMisses(t *testing.T) {
+	d := New(DefaultConfig(), 0)
+	// Stride far beyond the row size: every access opens a new row.
+	for i := uint64(0); i < 256; i++ {
+		d.Read(sim.Time(int64(i)*int64(sim.Microsecond)), i*1024*1024)
+	}
+	if d.RowHits() != 0 {
+		t.Fatalf("strided stream must never row-hit: %d hits", d.RowHits())
+	}
+}
+
+func TestBankedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tiny rows")
+		}
+	}()
+	New(Config{BytesPerSecond: 1, Banks: 2, RowBytes: 32}, 0)
+}

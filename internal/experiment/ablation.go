@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"idio/internal/cache"
+
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+)
+
+// The ablations probe the design choices DESIGN.md calls out, beyond
+// the paper's own figures:
+//
+//   - DDIO way count: how much LLC must be ceded to I/O under the
+//     baseline, and whether IDIO removes that sensitivity,
+//   - ring size: the footprint-vs-MLC crossover of Observation 2,
+//   - prefetch queue depth: Sec. V-C fixes 32; what a smaller or
+//     deeper queue changes,
+//   - descriptor write-back coalescing: the ~1.9 µs visibility lag of
+//     Sec. VII versus immediate visibility,
+//   - the adaptive (CPU-following) prefetcher the paper sketches as
+//     future work, versus the FSM-regulated one.
+
+// AblationRow is one configuration of a one-dimensional sweep.
+type AblationRow struct {
+	Param string
+	Value string
+
+	MLCWB      uint64
+	LLCWB      uint64
+	DRAMWrites uint64
+	ExeTimeUS  float64
+	P99US      float64
+	Drops      uint64
+}
+
+// Row renders for the table writer.
+func (r AblationRow) Row() []string {
+	return []string{
+		r.Param, r.Value,
+		fmt.Sprintf("%d", r.MLCWB), fmt.Sprintf("%d", r.LLCWB),
+		fmt.Sprintf("%d", r.DRAMWrites),
+		fmt.Sprintf("%.0f", r.ExeTimeUS), fmt.Sprintf("%.1f", r.P99US),
+		fmt.Sprintf("%d", r.Drops),
+	}
+}
+
+// AblationHeader describes the sweep table columns.
+func AblationHeader() []string {
+	return []string{"param", "value", "mlcWB", "llcWB", "dramWr", "exe us", "p99 us", "drops"}
+}
+
+// AblationOpts parameterises the sweeps. Zero values inherit the
+// usual full-scale geometry.
+type AblationOpts struct {
+	RingSize int
+	RateGbps float64
+	Horizon  sim.Duration
+	MLCSize  int
+	LLCSize  int
+}
+
+// DefaultAblationOpts uses the Fig. 9 scenario (2x TouchDrop, one
+// 25 Gbps burst each).
+func DefaultAblationOpts() AblationOpts {
+	return AblationOpts{RingSize: 1024, RateGbps: 25, Horizon: 9 * sim.Millisecond}
+}
+
+func (o AblationOpts) spec(pol idiocore.Policy) Spec {
+	sp := DefaultSpec(pol)
+	sp.RingSize = o.RingSize
+	sp.MLCSize = o.MLCSize
+	sp.LLCSize = o.LLCSize
+	return sp
+}
+
+func summarise(param, value string, c Fig9Cell) AblationRow {
+	s := c.Summary
+	return AblationRow{
+		Param: param, Value: value,
+		MLCWB: s.MLCWB, LLCWB: s.LLCWB, DRAMWrites: s.DRAMWrites,
+		ExeTimeUS: s.ExeTimeUS, P99US: s.P99US, Drops: s.Drops,
+	}
+}
+
+// AblationDDIOWays sweeps the number of LLC ways granted to DDIO under
+// both the baseline and IDIO.
+func AblationDDIOWays(opts AblationOpts, ways []int) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, w := range ways {
+			sp := opts.spec(pol)
+			sp.DDIOWays = w
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("ddioWays/"+pol.Name(), fmt.Sprintf("%d", w), c))
+		}
+	}
+	return rows
+}
+
+// AblationRingSize sweeps the DMA ring size under both policies,
+// exposing the footprint-vs-MLC crossover.
+func AblationRingSize(opts AblationOpts, rings []int) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, ring := range rings {
+			sp := opts.spec(pol)
+			sp.RingSize = ring
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("ring/"+pol.Name(), fmt.Sprintf("%d", ring), c))
+		}
+	}
+	return rows
+}
+
+// AblationPrefetchDepth sweeps the MLC prefetcher queue depth under
+// IDIO.
+func AblationPrefetchDepth(opts AblationOpts, depths []int) []AblationRow {
+	var rows []AblationRow
+	for _, d := range depths {
+		sp := opts.spec(idiocore.PolicyIDIO)
+		sp.PrefetchDepth = d
+		c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+		rows = append(rows, summarise("pfDepth", fmt.Sprintf("%d", d), c))
+	}
+	return rows
+}
+
+// AblationDescCoalescing compares descriptor write-back visibility
+// delays (0 vs the default ~1.9 µs vs an exaggerated lag) under the
+// baseline.
+func AblationDescCoalescing(opts AblationOpts, delays []sim.Duration) []AblationRow {
+	var rows []AblationRow
+	for _, d := range delays {
+		sp := opts.spec(idiocore.PolicyDDIO)
+		if d == 0 {
+			sp.DescWBDelay = -1 // explicit zero
+		} else {
+			sp.DescWBDelay = d
+		}
+		c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+		rows = append(rows, summarise("descWB", fmt.Sprintf("%.1fus", d.Microseconds()), c))
+	}
+	return rows
+}
+
+// AblationMLP sweeps the core's MSHR budget under both policies,
+// quantifying how memory-level parallelism compresses the
+// execution-time gap between DDIO and IDIO (the main systematic
+// deviation from the paper's out-of-order cores — see EXPERIMENTS.md).
+func AblationMLP(opts AblationOpts, mshrs []int) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, m := range mshrs {
+			sp := opts.spec(pol)
+			sp.MSHRs = m
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("mshrs/"+pol.Name(), fmt.Sprintf("%d", m), c))
+		}
+	}
+	return rows
+}
+
+// AblationReplacement compares cache replacement policies under both
+// the baseline and IDIO: SRRIP's scan-resistant insertion changes how
+// fast dead DMA data ages out of the LLC relative to true LRU.
+func AblationReplacement(opts AblationOpts) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, repl := range []cache.Policy{cache.LRU, cache.SRRIP} {
+			sp := opts.spec(pol)
+			repl := repl
+			sp.ReplPolicy = &repl
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("repl/"+pol.Name(), repl.String(), c))
+		}
+	}
+	return rows
+}
+
+// AblationInclusion compares the two non-inclusive LLC behaviours:
+// exclusive move-on-hit (the paper's described data movement) versus
+// NINE retain-on-hit (a clean copy stays behind). NINE halves the
+// effective on-chip capacity for streaming DMA data but absorbs MLC
+// writebacks in place.
+func AblationInclusion(opts AblationOpts) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, retain := range []bool{false, true} {
+			sp := opts.spec(pol)
+			sp.RetainLLCOnHit = retain
+			name := "exclusive"
+			if retain {
+				name = "nine"
+			}
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("inclusion/"+pol.Name(), name, c))
+		}
+	}
+	return rows
+}
+
+// AblationFrameSize sweeps the packet size under both policies. Small
+// frames are header-dominated (one cacheline per packet), so DDIO's
+// static LLC placement wastes little; at MTU the payload dominates and
+// IDIO's payload orchestration pays off — the sweep locates that
+// crossover.
+func AblationFrameSize(opts AblationOpts, sizes []int) []AblationRow {
+	var rows []AblationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		for _, fs := range sizes {
+			sp := opts.spec(pol)
+			sp.FrameLen = fs
+			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
+			rows = append(rows, summarise("frame/"+pol.Name(), fmt.Sprintf("%dB", fs), c))
+		}
+	}
+	return rows
+}
+
+// AblationAdaptivePrefetch compares three prefetch regulators at the
+// rate where regulation matters most (100 Gbps):
+//
+//   - none:     the Static policy (status hardwired to MLC),
+//   - fsm:      the paper's Fig. 8 controller (dynamic IDIO),
+//   - adaptive: the CPU-following throttle the paper sketches as
+//     future work, layered on the unregulated Static policy so the
+//     throttle is the only regulator.
+func AblationAdaptivePrefetch(opts AblationOpts) []AblationRow {
+	var rows []AblationRow
+	static := opts.spec(idiocore.PolicyStatic)
+	rows = append(rows, summarise("pfRegulator", "none", runBurstCell(static, opts.RateGbps, opts.Horizon)))
+
+	fsm := opts.spec(idiocore.PolicyIDIO)
+	rows = append(rows, summarise("pfRegulator", "fsm", runBurstCell(fsm, opts.RateGbps, opts.Horizon)))
+
+	adaptive := opts.spec(idiocore.PolicyStatic)
+	adaptive.AdaptivePrefetch = true
+	rows = append(rows, summarise("pfRegulator", "adaptive", runBurstCell(adaptive, opts.RateGbps, opts.Horizon)))
+	return rows
+}

@@ -1,0 +1,268 @@
+// Package experiment regenerates every quantitative figure of the
+// paper's analysis (Fig. 4, 5) and evaluation (Fig. 9-14). Each FigN
+// function builds the scenario the paper describes, runs it, and
+// returns structured rows/series mirroring what the figure reports;
+// render.go formats them as ASCII tables and CSV for inspection.
+//
+// The experiments are parameterised by an options struct whose
+// Default* constructor reproduces the paper's setup; tests shrink the
+// parameters to keep runtimes small without changing the physics.
+package experiment
+
+import (
+	"idio"
+	"idio/internal/apps"
+	"idio/internal/cache"
+	idiocore "idio/internal/core"
+	"idio/internal/cpu"
+	"idio/internal/sim"
+	"idio/internal/stats"
+	"idio/internal/traffic"
+)
+
+// AppKind selects the network function on the NF cores.
+type AppKind int
+
+// Network functions from Table II (and the Sec. VII L2Fwd variant).
+const (
+	TouchDrop AppKind = iota
+	L2Fwd
+	L2FwdDropPayload
+)
+
+func (a AppKind) String() string {
+	switch a {
+	case TouchDrop:
+		return "TouchDrop"
+	case L2Fwd:
+		return "L2Fwd"
+	case L2FwdDropPayload:
+		return "L2FwdDropPayload"
+	default:
+		return "unknown"
+	}
+}
+
+func (a AppKind) app() cpu.App {
+	switch a {
+	case TouchDrop:
+		return apps.TouchDrop{}
+	case L2Fwd:
+		return apps.L2Fwd{}
+	case L2FwdDropPayload:
+		return apps.L2FwdDropPayload{}
+	default:
+		panic("experiment: unknown app kind")
+	}
+}
+
+// Spec assembles a complete scenario: the gem5-style two-NF system of
+// Sec. VI plus optional co-running antagonist and configuration
+// overrides used by individual figures.
+type Spec struct {
+	Policy   idiocore.Policy
+	App      AppKind
+	NumNFs   int
+	RingSize int
+	FrameLen int
+
+	// ClassOne marks the NF flows as application class 1 via DSCP 46
+	// (used by the selective-direct-DRAM experiments).
+	ClassOne bool
+
+	// Antagonist adds an LLCAntagonist on an extra core with a 256 KB
+	// MLC and the given buffer size (Sec. VI).
+	Antagonist    bool
+	AntagonistBuf uint64
+
+	// LLCSize overrides the scaled-down 3 MB gem5 LLC; 0 keeps it.
+	LLCSize int
+	// MLCSize overrides the per-core 1 MB MLC; 0 keeps it. Scaled-down
+	// tests shrink MLC and LLC together with the ring so capacity
+	// ratios (ring footprint vs. MLC, DDIO ways vs. burst) match the
+	// full-size scenario.
+	MLCSize int
+	// AppWayMask partitions CPU-side LLC fills (Fig. 4's _1way runs).
+	AppWayMask cache.WayMask
+	// MLCTHR overrides the controller threshold (Fig. 14); 0 keeps 50.
+	MLCTHR uint64
+	// TimelineBucket overrides the 10 µs stats bucket; 0 keeps it.
+	TimelineBucket sim.Duration
+
+	// Ablation knobs (not part of any paper figure; used by the
+	// design-choice sweeps in ablation.go).
+	DDIOWays         int          // 0 keeps the default 2
+	PrefetchDepth    int          // 0 keeps the default 32
+	DescWBDelay      sim.Duration // <0 means zero delay; 0 keeps default
+	AdaptivePrefetch bool         // enable the CPU-following throttle
+	MSHRs            int          // memory-level parallelism; 0 keeps 1
+	// ReplPolicy selects cache replacement (LRU default; SRRIP models
+	// the RRIP family real LLCs approximate). Pointer so the LRU zero
+	// value stays the default.
+	ReplPolicy *cache.Policy
+	// TraceCapacity enables per-packet stage tracing on every core.
+	TraceCapacity int
+	// RetainLLCOnHit selects NINE inclusion semantics for the LLC
+	// (see hier.Config.RetainLLCOnHit).
+	RetainLLCOnHit bool
+}
+
+// DefaultSpec is the common Sec. VI gem5 scenario: two TouchDrop NFs,
+// 1024-entry rings, 1514-byte packets, 3 MB LLC.
+func DefaultSpec(policy idiocore.Policy) Spec {
+	return Spec{
+		Policy:        policy,
+		App:           TouchDrop,
+		NumNFs:        2,
+		RingSize:      1024,
+		FrameLen:      1514,
+		AntagonistBuf: 2 << 20,
+	}
+}
+
+// Built is a wired system plus the experiment-level handles.
+type Built struct {
+	Sys        *idio.System
+	Flows      []traffic.Flow
+	Antagonist *apps.LLCAntagonist
+}
+
+// Build wires the scenario.
+func Build(spec Spec) *Built {
+	cores := spec.NumNFs
+	if spec.Antagonist {
+		cores++
+	}
+	cfg := idio.DefaultConfig(cores)
+	cfg.Hier.LLCSize = 3 << 20 // scaled gem5 LLC (Sec. III / Fig. 5)
+	if spec.LLCSize > 0 {
+		cfg.Hier.LLCSize = spec.LLCSize
+	}
+	if spec.MLCSize > 0 {
+		cfg.Hier.MLCSize = spec.MLCSize
+	}
+	if spec.AppWayMask != 0 {
+		cfg.Hier.AppWayMask = spec.AppWayMask
+	}
+	if spec.MLCTHR > 0 {
+		cfg.Controller.MLCTHR = spec.MLCTHR
+	}
+	if spec.TimelineBucket > 0 {
+		cfg.Hier.TimelineBucket = spec.TimelineBucket
+	}
+	if spec.Antagonist {
+		// The antagonist core gets a 256 KB MLC (Sec. VI).
+		sizes := make([]int, cores)
+		sizes[cores-1] = 256 << 10
+		cfg.Hier.MLCSizePerCore = sizes
+	}
+	cfg.NIC.RingSize = spec.RingSize
+	cfg.Policy = spec.Policy
+	if spec.ClassOne {
+		cfg.Classifier.ClassOneDSCPs = []uint8{46}
+	}
+	if spec.DDIOWays > 0 {
+		cfg.Hier.DDIOWays = spec.DDIOWays
+	}
+	if spec.PrefetchDepth > 0 {
+		cfg.Prefetcher.QueueDepth = spec.PrefetchDepth
+	}
+	if spec.DescWBDelay < 0 {
+		cfg.NIC.DescWBDelay = 0
+	} else if spec.DescWBDelay > 0 {
+		cfg.NIC.DescWBDelay = spec.DescWBDelay
+	}
+	cfg.Prefetcher.Adaptive = spec.AdaptivePrefetch
+	if spec.MSHRs > 0 {
+		cfg.CPU.MSHRs = spec.MSHRs
+	}
+	if spec.ReplPolicy != nil {
+		cfg.Hier.Policy = *spec.ReplPolicy
+	}
+	cfg.CPU.TraceCapacity = spec.TraceCapacity
+	cfg.Hier.RetainLLCOnHit = spec.RetainLLCOnHit
+	sys := idio.NewSystem(cfg)
+
+	b := &Built{Sys: sys}
+	for i := 0; i < spec.NumNFs; i++ {
+		flow := sys.DefaultFlow(i)
+		flow.FrameLen = spec.FrameLen
+		if spec.ClassOne {
+			flow.DSCP = 46
+		}
+		sys.AddNF(i, spec.App.app(), flow)
+		b.Flows = append(b.Flows, flow)
+	}
+	if spec.Antagonist {
+		buf := sys.AllocRegion(spec.AntagonistBuf)
+		b.Antagonist = apps.NewLLCAntagonist(cores-1, buf, cfg.Hier.Clock, sys.Hier, 1)
+	}
+	return b
+}
+
+// InstallBurst schedules one synchronized burst per NF at the given
+// per-NF rate (Sec. VI's construction: exactly ring-size packets per
+// burst).
+func (b *Built) InstallBurst(gbps float64, ringSize, numBursts int) {
+	for _, flow := range b.Flows {
+		traffic.Bursty{
+			Flow:            flow,
+			BurstRateBps:    traffic.Gbps(gbps),
+			Period:          10 * sim.Millisecond,
+			PacketsPerBurst: ringSize,
+			NumBursts:       numBursts,
+		}.Install(b.Sys.Sim, b.Sys.NIC)
+	}
+}
+
+// InstallSteady schedules steady per-NF traffic.
+func (b *Built) InstallSteady(gbps float64, count uint64) {
+	for _, flow := range b.Flows {
+		traffic.Steady{
+			Flow:    flow,
+			RateBps: traffic.Gbps(gbps),
+			Count:   count,
+		}.Install(b.Sys.Sim, b.Sys.NIC)
+	}
+}
+
+// Start launches cores, controller and (if present) the antagonist.
+func (b *Built) Start() {
+	b.Sys.Start()
+	if b.Antagonist != nil {
+		b.Antagonist.Start(b.Sys.Sim)
+	}
+}
+
+// RunBurstToCompletion runs until the rings drain (bounded by
+// horizon) and returns results.
+func (b *Built) RunBurstToCompletion(horizon sim.Duration) idio.Results {
+	b.Start()
+	return b.Sys.RunUntilIdle(horizon)
+}
+
+// Series is a named timeline in the units the paper plots (MTPS per
+// 10 µs bucket by default).
+type Series struct {
+	Name   string
+	Points []stats.SeriesPoint
+}
+
+// seriesOf snapshots a timeline (nil-safe).
+func seriesOf(name string, tl *stats.Timeline) Series {
+	if tl == nil {
+		return Series{Name: name}
+	}
+	return Series{Name: name, Points: tl.Series()}
+}
+
+// ratio returns a/b guarding against a zero baseline.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1 // both zero: no change
+		}
+		return -1 // undefined; callers render as n/a
+	}
+	return a / b
+}

@@ -1,0 +1,112 @@
+package experiment
+
+import (
+	"fmt"
+
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+)
+
+// Fig10Row is one configuration group of Fig. 10: Static or IDIO stats
+// normalized to baseline DDIO for the same scenario (lower is better),
+// including the co-running-antagonist variant.
+type Fig10Row struct {
+	Config   string // "Static" | "IDIO" | "IDIO+Antagonist"
+	RateGbps float64
+
+	NormMLCWB   float64
+	NormLLCWB   float64
+	NormDRAMRd  float64
+	NormDRAMWr  float64
+	NormExeTime float64
+	// AntagonistCPIGain is (CPI_DDIO - CPI_IDIO)/CPI_DDIO for co-run
+	// rows; zero otherwise.
+	AntagonistCPIGain float64
+}
+
+// Fig10Opts parameterises the normalized comparison.
+type Fig10Opts struct {
+	RingSize int
+	Rates    []float64
+	Horizon  sim.Duration
+	// CoRun enables the TouchDrop.IDIO + LLCAntagonist rows.
+	CoRun bool
+	// MLCSize/LLCSize scale the caches for reduced-size runs.
+	MLCSize int
+	LLCSize int
+}
+
+// DefaultFig10Opts reproduces Fig. 10: 100/25/10 Gbps, Static and
+// dynamic IDIO, plus the co-run scenario.
+func DefaultFig10Opts() Fig10Opts {
+	return Fig10Opts{
+		RingSize: 1024,
+		Rates:    []float64{100, 25, 10},
+		Horizon:  9 * sim.Millisecond,
+		CoRun:    true,
+	}
+}
+
+// Fig10 runs the normalized comparison.
+func Fig10(opts Fig10Opts) []Fig10Row {
+	spec := func(pol idiocore.Policy, antagonist bool) Spec {
+		sp := DefaultSpec(pol)
+		sp.RingSize = opts.RingSize
+		sp.MLCSize = opts.MLCSize
+		sp.LLCSize = opts.LLCSize
+		sp.Antagonist = antagonist
+		return sp
+	}
+	var rows []Fig10Row
+	for _, rate := range opts.Rates {
+		base := runBurstCell(spec(idiocore.PolicyDDIO, false), rate, opts.Horizon).Summary
+		for _, pol := range []idiocore.Policy{idiocore.PolicyStatic, idiocore.PolicyIDIO} {
+			s := runBurstCell(spec(pol, false), rate, opts.Horizon).Summary
+			rows = append(rows, normalize(pol.Name(), rate, s, base))
+		}
+		if opts.CoRun {
+			baseCo := runBurstCell(spec(idiocore.PolicyDDIO, true), rate, opts.Horizon).Summary
+			co := runBurstCell(spec(idiocore.PolicyIDIO, true), rate, opts.Horizon).Summary
+			row := normalize("IDIO+Antagonist", rate, co, baseCo)
+			// Both runs must have exited the antagonist's warm-up
+			// window for the CPI comparison to be meaningful.
+			if baseCo.AntagonistCPI > 0 && co.AntagonistCPI > 0 {
+				row.AntagonistCPIGain = (baseCo.AntagonistCPI - co.AntagonistCPI) / baseCo.AntagonistCPI
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func normalize(name string, rate float64, s, base BurstSummary) Fig10Row {
+	return Fig10Row{
+		Config:      name,
+		RateGbps:    rate,
+		NormMLCWB:   ratio(float64(s.MLCWB), float64(base.MLCWB)),
+		NormLLCWB:   ratio(float64(s.LLCWB), float64(base.LLCWB)),
+		NormDRAMRd:  ratio(float64(s.DRAMReads), float64(base.DRAMReads)),
+		NormDRAMWr:  ratio(float64(s.DRAMWrites), float64(base.DRAMWrites)),
+		NormExeTime: ratio(s.ExeTimeUS, base.ExeTimeUS),
+	}
+}
+
+// Fig10Header describes the table columns.
+func Fig10Header() []string {
+	return []string{"rate", "config", "MLCWB", "LLCWB", "DRAMrd", "DRAMwr", "ExeTime", "antCPI gain"}
+}
+
+// Row renders one row (values normalized to DDIO; lower is better).
+func (r Fig10Row) Row() []string {
+	f := func(v float64) string {
+		if v < 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	return []string{
+		fmt.Sprintf("%.0fG", r.RateGbps), r.Config,
+		f(r.NormMLCWB), f(r.NormLLCWB), f(r.NormDRAMRd), f(r.NormDRAMWr), f(r.NormExeTime),
+		fmt.Sprintf("%.1f%%", r.AntagonistCPIGain*100),
+	}
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+	"idio/internal/stats"
+)
+
+// Fig11Result compares DDIO and IDIO running the shallow zero-copy
+// L2Fwd NF (1024-byte packets), plus the selective-direct-DRAM variant
+// where the application drops payloads (class 1).
+type Fig11Result struct {
+	DDIO Fig9Cell
+	IDIO Fig9Cell
+
+	// DirectDRAM summarises the L2FwdDropPayload + class-1 run: the
+	// paper expects LLC writeback rate and DRAM write bandwidth equal
+	// to the RX bandwidth.
+	DirectDRAM struct {
+		Summary       BurstSummary
+		RxGbps        float64
+		DRAMWriteGbps float64
+	}
+}
+
+// Fig11Opts parameterises the shallow-NF comparison.
+type Fig11Opts struct {
+	RingSize  int
+	FrameLen  int
+	BurstGbps float64
+	Horizon   sim.Duration
+}
+
+// DefaultFig11Opts mirrors Fig. 11: 1024-entry rings, 1024-byte
+// packets.
+func DefaultFig11Opts() Fig11Opts {
+	return Fig11Opts{RingSize: 1024, FrameLen: 1024, BurstGbps: 25, Horizon: 9 * sim.Millisecond}
+}
+
+// Fig11 runs the three configurations.
+func Fig11(opts Fig11Opts) Fig11Result {
+	spec := func(pol idiocore.Policy) Spec {
+		sp := DefaultSpec(pol)
+		sp.RingSize = opts.RingSize
+		sp.App = L2Fwd
+		sp.FrameLen = opts.FrameLen
+		return sp
+	}
+	var out Fig11Result
+	out.DDIO = runBurstCell(spec(idiocore.PolicyDDIO), opts.BurstGbps, opts.Horizon)
+	out.IDIO = runBurstCell(spec(idiocore.PolicyIDIO), opts.BurstGbps, opts.Horizon)
+
+	// Direct-DRAM variant: class-1 flows + payload-dropping app.
+	ddSpec := DefaultSpec(idiocore.PolicyIDIO)
+	ddSpec.RingSize = opts.RingSize
+	ddSpec.App = L2FwdDropPayload
+	ddSpec.FrameLen = opts.FrameLen
+	ddSpec.ClassOne = true
+	b := Build(ddSpec)
+	b.InstallBurst(opts.BurstGbps, opts.RingSize, 1)
+	res := b.RunBurstToCompletion(opts.Horizon)
+	out.DirectDRAM.Summary = BurstSummary{
+		MLCWB:      res.Hier.MLCWriteback,
+		LLCWB:      res.Hier.LLCWriteback,
+		DRAMReads:  res.DRAMReads,
+		DRAMWrites: res.DRAMWrites,
+		ExeTimeUS:  res.ExeTime.Microseconds(),
+		Processed:  res.TotalProcessed(),
+		Drops:      res.NIC.RxDrops,
+	}
+	span := res.Now.Sub(0)
+	out.DirectDRAM.RxGbps = stats.Gbps(res.NIC.RxBytes, span)
+	out.DirectDRAM.DRAMWriteGbps = stats.Gbps(res.DRAMWrites*64, span)
+	return out
+}

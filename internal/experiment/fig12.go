@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+)
+
+// Fig12Row is one bar group of Fig. 12: 50th and 99th percentile
+// TouchDrop latency for a (rate, policy, solo/co-run) point,
+// normalized to DDIO's solo run at the same rate.
+type Fig12Row struct {
+	RateGbps float64
+	Policy   string
+	CoRun    bool
+	NormP50  float64
+	NormP99  float64
+	// Raw values in microseconds for reference.
+	P50US, P99US float64
+}
+
+// Fig12Opts parameterises the latency study.
+type Fig12Opts struct {
+	RingSize int
+	Rates    []float64
+	Horizon  sim.Duration
+}
+
+// DefaultFig12Opts mirrors Fig. 12: 1514-byte packets, 1024-entry
+// rings, 100/25/10 Gbps, solo and co-run with the LLC antagonist.
+func DefaultFig12Opts() Fig12Opts {
+	return Fig12Opts{RingSize: 1024, Rates: []float64{100, 25, 10}, Horizon: 9 * sim.Millisecond}
+}
+
+// Fig12 runs the latency comparison.
+func Fig12(opts Fig12Opts) []Fig12Row {
+	spec := func(pol idiocore.Policy, antagonist bool) Spec {
+		sp := DefaultSpec(pol)
+		sp.RingSize = opts.RingSize
+		sp.Antagonist = antagonist
+		return sp
+	}
+	var rows []Fig12Row
+	for _, rate := range opts.Rates {
+		baseSolo := runBurstCell(spec(idiocore.PolicyDDIO, false), rate, opts.Horizon).Summary
+		for _, coRun := range []bool{false, true} {
+			for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+				if !coRun && pol == idiocore.PolicyDDIO {
+					// The normalization baseline itself: still reported
+					// as the 1.0 reference row.
+					rows = append(rows, Fig12Row{
+						RateGbps: rate, Policy: pol.Name(), CoRun: false,
+						NormP50: 1, NormP99: 1,
+						P50US: baseSolo.P50US, P99US: baseSolo.P99US,
+					})
+					continue
+				}
+				s := runBurstCell(spec(pol, coRun), rate, opts.Horizon).Summary
+				rows = append(rows, Fig12Row{
+					RateGbps: rate, Policy: pol.Name(), CoRun: coRun,
+					NormP50: ratio(s.P50US, baseSolo.P50US),
+					NormP99: ratio(s.P99US, baseSolo.P99US),
+					P50US:   s.P50US, P99US: s.P99US,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig12Header describes the table columns.
+func Fig12Header() []string {
+	return []string{"rate", "policy", "corun", "p50/ddio", "p99/ddio", "p50 us", "p99 us"}
+}
+
+// Row renders one row for the table writer.
+func (r Fig12Row) Row() []string {
+	return []string{
+		fmt.Sprintf("%.0fG", r.RateGbps), r.Policy, fmt.Sprintf("%v", r.CoRun),
+		fmt.Sprintf("%.3f", r.NormP50), fmt.Sprintf("%.3f", r.NormP99),
+		fmt.Sprintf("%.2f", r.P50US), fmt.Sprintf("%.2f", r.P99US),
+	}
+}

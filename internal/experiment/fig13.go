@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	idiocore "idio/internal/core"
+	"idio/internal/sim"
+)
+
+// Fig13Result compares DDIO and IDIO under steady (non-bursty)
+// traffic: two TouchDrop instances each receiving a constant 10 Gbps
+// (20 Gbps total), 1024-entry rings, 1514-byte packets.
+type Fig13Result struct {
+	DDIO Fig13Run
+	IDIO Fig13Run
+}
+
+// Fig13Run is one policy's steady-state outcome.
+type Fig13Run struct {
+	MLCWB     Series
+	LLCWB     Series
+	Summary   BurstSummary
+	RxPackets uint64
+}
+
+// Fig13Opts parameterises the steady-traffic run.
+type Fig13Opts struct {
+	RingSize int
+	Gbps     float64 // per NF
+	Packets  uint64  // per NF
+	Horizon  sim.Duration
+	// MLCSize/LLCSize scale the caches for reduced-size runs.
+	MLCSize int
+	LLCSize int
+}
+
+// DefaultFig13Opts mirrors Fig. 13: 10 Gbps per TouchDrop. The paper
+// notes drops appear above ~12 Gbps per core, so 10 Gbps is just
+// below saturation.
+func DefaultFig13Opts() Fig13Opts {
+	return Fig13Opts{RingSize: 1024, Gbps: 10, Packets: 8192, Horizon: 40 * sim.Millisecond}
+}
+
+// Fig13 runs both policies.
+func Fig13(opts Fig13Opts) Fig13Result {
+	run := func(pol idiocore.Policy) Fig13Run {
+		spec := DefaultSpec(pol)
+		spec.RingSize = opts.RingSize
+		spec.MLCSize = opts.MLCSize
+		spec.LLCSize = opts.LLCSize
+		b := Build(spec)
+		b.InstallSteady(opts.Gbps, opts.Packets)
+		b.Start()
+		res := b.Sys.RunUntilIdle(opts.Horizon)
+		return Fig13Run{
+			MLCWB: seriesOf("mlcWB", res.MLCWBTL),
+			LLCWB: seriesOf("llcWB", res.LLCWBTL),
+			Summary: BurstSummary{
+				MLCWB:      res.Hier.MLCWriteback,
+				LLCWB:      res.Hier.LLCWriteback,
+				DRAMReads:  res.DRAMReads,
+				DRAMWrites: res.DRAMWrites,
+				P50US:      res.P50Across().Microseconds(),
+				P99US:      res.P99Across().Microseconds(),
+				Processed:  res.TotalProcessed(),
+				Drops:      res.NIC.RxDrops,
+			},
+			RxPackets: res.NIC.RxPackets,
+		}
+	}
+	return Fig13Result{DDIO: run(idiocore.PolicyDDIO), IDIO: run(idiocore.PolicyIDIO)}
+}

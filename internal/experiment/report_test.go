@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteReportQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteReport(&buf, ReportOpts{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# IDIO reproduction report",
+		"Fig. 4", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14",
+		"Latency breakdown", "Baselines", "Ablations", "Reproduction claims",
+		"| rate | policy |", // a table header made it through
+		"PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Fatal("report contains failed claims")
+	}
+	// Markdown tables are well-formed: every table line has matching
+	// pipe counts with its header (spot check the Fig. 14 table).
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "| mlcTHR |") {
+			want := strings.Count(l, "|")
+			for j := i + 1; j < len(lines) && strings.HasPrefix(lines[j], "|"); j++ {
+				if strings.Count(lines[j], "|") != want {
+					t.Fatalf("ragged table row %q", lines[j])
+				}
+			}
+		}
+		_ = i
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 100 {
+		return 0, strings.NewReader("").UnreadByte() // any non-nil error
+	}
+	return len(p), nil
+}
+
+func TestWriteReportPropagatesWriteErrors(t *testing.T) {
+	if err := WriteReport(&failWriter{}, ReportOpts{Quick: true}); err == nil {
+		t.Fatal("write errors must propagate")
+	}
+}

@@ -1,0 +1,22 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVerifyAllClaimsPass(t *testing.T) {
+	var buf bytes.Buffer
+	failed := Verify(&buf)
+	if failed != 0 {
+		t.Fatalf("verify failed %d claims:\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	if strings.Count(out, "PASS") < 23 {
+		t.Fatalf("expected at least 23 PASS lines:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("unexpected FAIL:\n%s", out)
+	}
+}

@@ -1,0 +1,108 @@
+// Package mem defines physical-address and cacheline arithmetic shared
+// by every level of the simulated memory hierarchy.
+package mem
+
+import "fmt"
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// LineAddr identifies one 64-byte cacheline (Addr >> 6).
+type LineAddr uint64
+
+// Cacheline geometry. 64-byte lines match every system discussed in the
+// paper (Skylake-SP, the gem5 config, and PCIe full-cacheline writes).
+const (
+	LineBytes   = 64
+	LineShift   = 6
+	LineMask    = LineBytes - 1
+	DescBytes   = 128  // NIC descriptor size (Sec. III, Observation 1)
+	MbufBytes   = 2048 // DMA buffer slot: MTU rounded to 2 KB (Sec. IV-A)
+	EthernetMTU = 1514
+)
+
+// Line returns the cacheline containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a >> LineShift) }
+
+// Offset returns the byte offset of a within its cacheline.
+func (a Addr) Offset() uint64 { return uint64(a) & LineMask }
+
+// Aligned reports whether a is cacheline-aligned.
+func (a Addr) Aligned() bool { return a.Offset() == 0 }
+
+// Addr returns the first byte address of the line.
+func (l LineAddr) Addr() Addr { return Addr(l << LineShift) }
+
+func (a Addr) String() string     { return fmt.Sprintf("0x%x", uint64(a)) }
+func (l LineAddr) String() string { return fmt.Sprintf("line:0x%x", uint64(l)) }
+
+// LinesCovering returns the number of cachelines needed to hold n bytes
+// starting at a (accounting for a possibly unaligned start).
+func LinesCovering(a Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	first := a.Line()
+	last := (a + Addr(n) - 1).Line()
+	return int(last-first) + 1
+}
+
+// Region is a contiguous physical range [Base, Base+Size).
+type Region struct {
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// ContainsLine reports whether the region fully contains line l.
+func (r Region) ContainsLine(l LineAddr) bool {
+	return r.Contains(l.Addr()) && r.Contains(l.Addr()+LineBytes-1)
+}
+
+// Lines iterates over the region's cachelines, calling fn for each.
+func (r Region) Lines(fn func(LineAddr)) {
+	if r.Size == 0 {
+		return
+	}
+	for l := r.Base.Line(); l <= (r.End() - 1).Line(); l++ {
+		fn(l)
+	}
+}
+
+// NumLines returns the number of cachelines touched by the region.
+func (r Region) NumLines() int { return LinesCovering(r.Base, int(r.Size)) }
+
+// Layout hands out non-overlapping, naturally aligned physical regions.
+// It is how the system places descriptor rings, mbuf pools and
+// application heaps without collisions.
+type Layout struct {
+	next Addr
+}
+
+// NewLayout starts allocation at base (rounded up to a line boundary).
+func NewLayout(base Addr) *Layout {
+	return &Layout{next: alignUp(base, LineBytes)}
+}
+
+// Alloc reserves size bytes aligned to align (power of two, >= 64) and
+// returns the region.
+func (ly *Layout) Alloc(size uint64, align uint64) Region {
+	if align < LineBytes {
+		align = LineBytes
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d not a power of two", align))
+	}
+	base := alignUp(ly.next, Addr(align))
+	ly.next = base + Addr(size)
+	return Region{Base: base, Size: size}
+}
+
+func alignUp(a Addr, align Addr) Addr {
+	return (a + align - 1) &^ (align - 1)
+}

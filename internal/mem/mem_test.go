@@ -1,0 +1,129 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineArithmetic(t *testing.T) {
+	a := Addr(0x1234)
+	if a.Line() != LineAddr(0x48) {
+		t.Fatalf("line = %v", a.Line())
+	}
+	if a.Offset() != 0x34 {
+		t.Fatalf("offset = %d", a.Offset())
+	}
+	if a.Aligned() {
+		t.Fatal("0x1234 is not aligned")
+	}
+	if !Addr(0x1240).Aligned() {
+		t.Fatal("0x1240 is aligned")
+	}
+	if LineAddr(0x48).Addr() != 0x1200 {
+		t.Fatalf("line addr = %v", LineAddr(0x48).Addr())
+	}
+}
+
+func TestLinesCovering(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{0, 1514, 24},  // MTU packet, aligned
+		{32, 1514, 25}, // MTU packet, misaligned
+		{0, 2048, 32},  // full mbuf
+	}
+	for _, c := range cases {
+		if got := LinesCovering(c.a, c.n); got != c.want {
+			t.Errorf("LinesCovering(%v,%d) = %d, want %d", c.a, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x100}
+	if !r.Contains(0x1000) || !r.Contains(0x10ff) {
+		t.Fatal("region must contain endpoints")
+	}
+	if r.Contains(0xfff) || r.Contains(0x1100) {
+		t.Fatal("region must exclude outside")
+	}
+	if r.End() != 0x1100 {
+		t.Fatalf("end = %v", r.End())
+	}
+}
+
+func TestRegionLines(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 130}
+	var lines []LineAddr
+	r.Lines(func(l LineAddr) { lines = append(lines, l) })
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if lines[0] != Addr(0x1000).Line() || lines[2] != Addr(0x1081).Line() {
+		t.Fatalf("wrong lines: %v", lines)
+	}
+	if r.NumLines() != 3 {
+		t.Fatalf("NumLines = %d", r.NumLines())
+	}
+	empty := Region{Base: 0x1000, Size: 0}
+	empty.Lines(func(LineAddr) { t.Fatal("empty region should have no lines") })
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	ly := NewLayout(0x1000)
+	a := ly.Alloc(100, 64)
+	b := ly.Alloc(2048, 2048)
+	c := ly.Alloc(64, 64)
+	regs := []Region{a, b, c}
+	for i := range regs {
+		if regs[i].Base%64 != 0 {
+			t.Errorf("region %d base %v not line aligned", i, regs[i].Base)
+		}
+		for j := i + 1; j < len(regs); j++ {
+			if regs[i].Base < regs[j].End() && regs[j].Base < regs[i].End() {
+				t.Errorf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+	if b.Base%2048 != 0 {
+		t.Errorf("2KB-aligned alloc at %v", b.Base)
+	}
+}
+
+func TestLayoutBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewLayout(0).Alloc(1, 96)
+}
+
+// Property: every address in an allocated region maps to a line the
+// region reports via Lines.
+func TestQuickRegionLineConsistency(t *testing.T) {
+	f := func(base uint32, size uint16) bool {
+		r := Region{Base: Addr(base), Size: uint64(size)}
+		seen := map[LineAddr]bool{}
+		r.Lines(func(l LineAddr) { seen[l] = true })
+		if len(seen) != r.NumLines() {
+			return false
+		}
+		for off := uint64(0); off < uint64(size); off += 17 {
+			if !seen[(r.Base + Addr(off)).Line()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

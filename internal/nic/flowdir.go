@@ -1,0 +1,119 @@
+// Flow Director and RSS: the NIC's packet-steering machinery
+// (Sec. II-C). Externally-Programmed (EP) mode installs exact-match
+// 5-tuple rules; Application Targeting Routing (ATR) mode learns
+// destinations into a hashed filter table (8K entries on modern
+// adapters). Packets matching neither fall back to Toeplitz RSS over
+// an indirection table, as real hardware does.
+
+package nic
+
+import (
+	"encoding/binary"
+
+	"idio/internal/pkt"
+)
+
+// FilterTableSize matches modern Intel Ethernet adapters (Sec. II-C).
+const FilterTableSize = 8192
+
+// toeplitzKey is the de-facto standard 40-byte Microsoft RSS key.
+var toeplitzKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Toeplitz computes the RSS hash over the IPv4 4-tuple input
+// (srcIP, dstIP, srcPort, dstPort) using the standard algorithm.
+func Toeplitz(t pkt.FiveTuple) uint32 {
+	var input [12]byte
+	copy(input[0:4], t.Src[:])
+	copy(input[4:8], t.Dst[:])
+	binary.BigEndian.PutUint16(input[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(input[10:12], t.DstPort)
+
+	var hash uint32
+	// Sliding 32-bit window over the key, one shift per input bit.
+	window := binary.BigEndian.Uint32(toeplitzKey[0:4])
+	keyBit := 32 // next key bit to shift in
+	for _, b := range input {
+		for m := byte(0x80); m != 0; m >>= 1 {
+			if b&m != 0 {
+				hash ^= window
+			}
+			next := uint32(0)
+			if toeplitzKey[keyBit/8]&(0x80>>(uint(keyBit)%8)) != 0 {
+				next = 1
+			}
+			window = window<<1 | next
+			keyBit++
+		}
+	}
+	return hash
+}
+
+// filterEntry is one ATR filter-table slot.
+type filterEntry struct {
+	valid bool
+	hash  uint32 // full hash kept to reduce (not eliminate) aliasing
+	core  int
+}
+
+// FlowDirector steers packets to cores: EP rules first, then the ATR
+// filter table, then RSS fallback.
+type FlowDirector struct {
+	ep       map[pkt.FiveTuple]int
+	table    [FilterTableSize]filterEntry
+	rssTable []int // indirection table mapping hash to core
+
+	// Stats.
+	EPHits   uint64
+	ATRHits  uint64
+	RSSFalls uint64
+}
+
+// NewFlowDirector builds a director whose RSS indirection table spreads
+// over numCores cores (128-entry table, as common hardware defaults).
+func NewFlowDirector(numCores int) *FlowDirector {
+	if numCores <= 0 {
+		panic("nic: flow director needs cores")
+	}
+	fd := &FlowDirector{
+		ep:       make(map[pkt.FiveTuple]int),
+		rssTable: make([]int, 128),
+	}
+	for i := range fd.rssTable {
+		fd.rssTable[i] = i % numCores
+	}
+	return fd
+}
+
+// AddEPRule installs an externally-programmed exact-match rule.
+func (fd *FlowDirector) AddEPRule(t pkt.FiveTuple, core int) {
+	fd.ep[t] = core
+}
+
+// Learn populates the ATR filter table for a flow (hardware does this
+// by observing TX traffic; tests and the system call it directly).
+func (fd *FlowDirector) Learn(t pkt.FiveTuple, core int) {
+	h := Toeplitz(t)
+	fd.table[h%FilterTableSize] = filterEntry{valid: true, hash: h, core: core}
+}
+
+// Steer resolves the destination core for a packet.
+func (fd *FlowDirector) Steer(t pkt.FiveTuple) int {
+	if core, ok := fd.ep[t]; ok {
+		fd.EPHits++
+		return core
+	}
+	h := Toeplitz(t)
+	e := fd.table[h%FilterTableSize]
+	if e.valid && e.hash == h {
+		fd.ATRHits++
+		return e.core
+	}
+	fd.RSSFalls++
+	return fd.rssTable[h%uint32(len(fd.rssTable))]
+}

@@ -1,0 +1,74 @@
+// MbufPool implements the DPDK-style packet buffer pool that backs the
+// "re-allocate" recycling mode (Sec. II-B, M2): the ring's descriptors
+// point at pool buffers, the application detaches a filled buffer for
+// deferred processing and replenishes the descriptor with a fresh one,
+// returning the detached buffer to the pool once processed.
+
+package nic
+
+import (
+	"fmt"
+
+	"idio/internal/mem"
+)
+
+// MbufPool hands out fixed-size 2 KB buffers from a preallocated
+// region, LIFO (hot buffers are reused first, as DPDK mempools with
+// per-core caches behave).
+type MbufPool struct {
+	free []mem.Region
+	all  []mem.Region // every buffer, for DMA mapping/registration
+
+	// AllocFailures counts allocation attempts on an empty pool.
+	AllocFailures uint64
+	capacity      int
+}
+
+// NewMbufPool carves n buffers out of the layout.
+func NewMbufPool(n int, ly *mem.Layout) *MbufPool {
+	if n <= 0 {
+		panic(fmt.Sprintf("nic: mbuf pool size %d", n))
+	}
+	p := &MbufPool{capacity: n}
+	for i := 0; i < n; i++ {
+		b := ly.Alloc(mem.MbufBytes, mem.MbufBytes)
+		p.free = append(p.free, b)
+		p.all = append(p.all, b)
+	}
+	return p
+}
+
+// Buffers returns every buffer in the pool (free or not), for
+// registering DMA mappings and Invalidatable pages.
+func (p *MbufPool) Buffers() []mem.Region { return p.all }
+
+// Capacity returns the total buffer count.
+func (p *MbufPool) Capacity() int { return p.capacity }
+
+// Available returns the free buffer count.
+func (p *MbufPool) Available() int { return len(p.free) }
+
+// Alloc takes a buffer from the pool.
+func (p *MbufPool) Alloc() (mem.Region, bool) {
+	if len(p.free) == 0 {
+		p.AllocFailures++
+		return mem.Region{}, false
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return b, true
+}
+
+// Free returns a buffer to the pool. Double frees are a programming
+// error and panic (they would alias two packets onto one buffer).
+func (p *MbufPool) Free(b mem.Region) {
+	if len(p.free) == p.capacity {
+		panic("nic: mbuf pool overflow (double free?)")
+	}
+	for _, f := range p.free {
+		if f.Base == b.Base {
+			panic(fmt.Sprintf("nic: double free of mbuf %v", b.Base))
+		}
+	}
+	p.free = append(p.free, b)
+}

@@ -1,0 +1,238 @@
+// Package nic models the network interface card: per-core RX
+// descriptor rings, a bandwidth-paced DMA engine, Flow Director packet
+// steering, the IDIO classifier hookup, descriptor write-back
+// coalescing, and the TX (egress) DMA read path.
+package nic
+
+import (
+	"fmt"
+
+	idiocore "idio/internal/core"
+	"idio/internal/mem"
+	"idio/internal/pcie"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// Sink is the host side of the PCIe link — the root complex. The NIC
+// pushes write TLPs (RX DMA) and read TLPs (TX DMA) into it.
+type Sink interface {
+	DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration
+	DMARead(now sim.Time, lineAddr uint64) sim.Duration
+}
+
+// Config describes the NIC.
+type Config struct {
+	NumQueues int // one RX queue (and ring) per core
+	RingSize  int // descriptors per ring (DPDK default 1024)
+	// LineRateBps is the PCIe-side DMA bandwidth in bits per second.
+	// Two 100 Gbps ports behind a x16 link give ~200 Gbps usable.
+	LineRateBps int64
+	// DescWBDelay is the descriptor write-back coalescing delay: the
+	// lag between a packet's last payload line landing and its
+	// descriptor becoming visible to the polling driver. Sec. VII
+	// observes ~1.9 µs between first DMA and execution start.
+	DescWBDelay sim.Duration
+}
+
+// DefaultConfig follows Table I and Sec. VI.
+func DefaultConfig(queues int) Config {
+	return Config{
+		NumQueues:   queues,
+		RingSize:    1024,
+		LineRateBps: 200_000_000_000,
+		DescWBDelay: 1900 * sim.Nanosecond,
+	}
+}
+
+// Stats aggregates NIC-side counters.
+type Stats struct {
+	RxPackets uint64
+	RxBytes   uint64
+	RxDrops   uint64
+	TxPackets uint64
+	DMAWrites uint64 // payload+descriptor line writes
+	DMAReads  uint64 // TX line reads
+}
+
+// NIC is the device model. Incoming packets (from a traffic generator)
+// enter via Receive; the CPU model polls rings via Ring and transmits
+// via Transmit.
+type NIC struct {
+	cfg        Config
+	sink       Sink
+	classifier *idiocore.Classifier
+	flowdir    *FlowDirector
+	rings      []*Ring
+	txRings    []*TXRing
+	layout     *mem.Layout
+
+	// engineFree is when the DMA engine can start the next line
+	// transfer (shared across queues — one PCIe link).
+	engineFree sim.Time
+
+	// completionHooks fire after a descriptor write-back makes a
+	// packet visible on a queue — the interrupt line for
+	// interrupt-mode drivers. Polling-mode drivers leave them nil.
+	completionHooks []func(*sim.Simulator)
+
+	stats Stats
+}
+
+// New builds a NIC, carving its rings out of the layout.
+func New(cfg Config, ly *mem.Layout, sink Sink, classifier *idiocore.Classifier, fd *FlowDirector) *NIC {
+	if cfg.NumQueues <= 0 {
+		panic("nic: need at least one queue")
+	}
+	if cfg.LineRateBps <= 0 {
+		panic("nic: line rate must be positive")
+	}
+	n := &NIC{
+		cfg: cfg, sink: sink, classifier: classifier, flowdir: fd,
+		completionHooks: make([]func(*sim.Simulator), cfg.NumQueues),
+		txRings:         make([]*TXRing, cfg.NumQueues),
+		layout:          ly,
+	}
+	for i := 0; i < cfg.NumQueues; i++ {
+		n.rings = append(n.rings, NewRing(cfg.RingSize, ly))
+		n.txRings[i] = NewTXRing(cfg.RingSize, ly)
+	}
+	return n
+}
+
+// SetCompletionHook installs the queue's completion interrupt handler.
+func (n *NIC) SetCompletionHook(q int, fn func(*sim.Simulator)) {
+	n.completionHooks[q] = fn
+}
+
+// Ring returns queue q's descriptor ring.
+func (n *NIC) Ring(q int) *Ring { return n.rings[q] }
+
+// Stats returns a copy of the counters.
+func (n *NIC) Stats() Stats {
+	s := n.stats
+	for _, r := range n.rings {
+		s.RxDrops += r.Drops
+	}
+	return s
+}
+
+// lineTime is the wire time of one 64-byte transfer at the DMA rate.
+func (n *NIC) lineTime() sim.Duration {
+	return sim.Duration(64 * 8 * int64(sim.Second) / n.cfg.LineRateBps)
+}
+
+// reserveEngine serialises the DMA engine: returns the start time for
+// a transfer of nLines beginning no earlier than now.
+func (n *NIC) reserveEngine(now sim.Time, nLines int) (start, end sim.Time) {
+	start = now
+	if n.engineFree > start {
+		start = n.engineFree
+	}
+	end = start.Add(sim.Duration(int64(n.lineTime()) * int64(nLines)))
+	n.engineFree = end
+	return start, end
+}
+
+// Receive ingests one packet at the current simulation time: steer to
+// a core, admit to the ring (or drop), and schedule the paced DMA of
+// payload lines followed by the coalesced descriptor write-back.
+func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
+	fields, err := pkt.Parse(p.Frame)
+	if err != nil {
+		// Undecodable frames are dropped by the parser stage.
+		n.stats.RxDrops++
+		return
+	}
+	coreID := n.flowdir.Steer(fields.Tuple())
+	if coreID >= n.cfg.NumQueues {
+		panic(fmt.Sprintf("nic: flow director steered to core %d with %d queues", coreID, n.cfg.NumQueues))
+	}
+	ring := n.rings[coreID]
+	slot := ring.Produce(p)
+	if slot == nil {
+		return // ring full: counted by the ring
+	}
+	slot.owner = n
+	now := s.Now()
+	p.ArrivalTimePS = int64(now)
+	n.stats.RxPackets++
+	n.stats.RxBytes += uint64(p.Len())
+
+	appClass := n.classifier.AppClass(fields.DSCP)
+	inBurst := n.classifier.AccountPacket(now, coreID, p.Len())
+	slot.AppClass = appClass
+
+	payload := slot.PayloadRegion()
+	nLines := payload.NumLines()
+	descLines := slot.Desc.NumLines()
+	start, _ := n.reserveEngine(now, nLines+descLines)
+
+	// Schedule each payload line write at its paced instant.
+	lt := n.lineTime()
+	i := 0
+	payload.Lines(func(line mem.LineAddr) {
+		idx := i
+		i++
+		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
+		meta := n.classifier.Tag(appClass, coreID, idx == 0, inBurst)
+		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
+		if err != nil {
+			panic(err)
+		}
+		s.AtNamed(at, "dma-write", func(sm *sim.Simulator) {
+			n.stats.DMAWrites++
+			n.sink.DMAWrite(sm.Now(), tlp)
+		})
+	})
+	// Descriptor lines follow the payload on the wire; visibility to
+	// the driver is additionally delayed by the coalescing window.
+	descStart := start.Add(sim.Duration(int64(lt) * int64(nLines)))
+	j := 0
+	slot.Desc.Lines(func(line mem.LineAddr) {
+		idx := j
+		j++
+		at := descStart.Add(sim.Duration(int64(lt) * int64(idx)))
+		meta := n.classifier.Tag(appClass, coreID, false, inBurst)
+		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
+		if err != nil {
+			panic(err)
+		}
+		s.AtNamed(at, "desc-write", func(sm *sim.Simulator) {
+			n.stats.DMAWrites++
+			n.sink.DMAWrite(sm.Now(), tlp)
+		})
+	})
+	readyAt := descStart.Add(sim.Duration(int64(lt)*int64(descLines)) + n.cfg.DescWBDelay)
+	s.AtNamed(readyAt, "desc-visible", func(sm *sim.Simulator) {
+		ring.Complete(slot, sm.Now())
+		if hook := n.completionHooks[coreID]; hook != nil {
+			hook(sm)
+		}
+	})
+}
+
+// Transmit performs the egress path for a zero-copy forwarder: paced
+// PCIe reads of the packet's lines, then the done callback (used by
+// the software stack to recycle the buffer). Descriptor bookkeeping on
+// TX is folded into the per-line reads.
+func (n *NIC) Transmit(s *sim.Simulator, payload mem.Region, done func(sim.Time)) {
+	nLines := payload.NumLines()
+	start, end := n.reserveEngine(s.Now(), nLines)
+	lt := n.lineTime()
+	i := 0
+	payload.Lines(func(line mem.LineAddr) {
+		idx := i
+		i++
+		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
+		la := uint64(line)
+		s.AtNamed(at, "dma-read", func(sm *sim.Simulator) {
+			n.stats.DMAReads++
+			n.sink.DMARead(sm.Now(), la)
+		})
+	})
+	n.stats.TxPackets++
+	if done != nil {
+		s.AtNamed(end, "tx-done", func(sm *sim.Simulator) { done(sm.Now()) })
+	}
+}

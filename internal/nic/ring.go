@@ -1,0 +1,200 @@
+// Ring implements the RX descriptor ring / DMA buffer structure of
+// Fig. 3: a circular array of descriptor+mbuf slots with the three
+// pointers the paper reasons about — the NIC head (last produced), the
+// CPU pointer (last consumed by the polling driver), and the NIC tail
+// (last freed, i.e. available for reuse by the NIC).
+
+package nic
+
+import (
+	"fmt"
+
+	"idio/internal/mem"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// Slot is one ring entry: a 128-byte descriptor in the ring itself and
+// a 2 KB mbuf from the buffer pool.
+type Slot struct {
+	Index int
+	Desc  mem.Region // 128 B descriptor (2 cachelines)
+	Buf   mem.Region // 2 KB DMA buffer
+
+	ring  *Ring // owning ring (for in-order Free)
+	owner *NIC  // port the packet arrived on (for zero-copy TX)
+
+	// Pkt is the packet occupying the slot (nil when free).
+	Pkt *pkt.Packet
+	// PayloadBytes is the frame length DMA'd into Buf.
+	PayloadBytes int
+	// ReadyAt is when the descriptor writeback made the packet visible
+	// to the polling driver.
+	ReadyAt sim.Time
+	ready   bool
+	// AppClass as classified on arrival (cached for the CPU model).
+	AppClass uint8
+}
+
+// PayloadRegion returns the buffer subregion actually holding data.
+func (s *Slot) PayloadRegion() mem.Region {
+	return mem.Region{Base: s.Buf.Base, Size: uint64(s.PayloadBytes)}
+}
+
+// Ring returns the slot's owning ring.
+func (s *Slot) Ring() *Ring { return s.ring }
+
+// NIC returns the port the slot's packet arrived on (nil until a
+// packet is produced into it by a NIC).
+func (s *Slot) NIC() *NIC { return s.owner }
+
+// Ring is a fixed-size descriptor ring. Pointers are monotonic
+// counters; the slot index is counter mod size.
+type Ring struct {
+	size  int
+	slots []Slot
+	pool  *MbufPool // non-nil in re-allocate (M2) mode
+
+	head uint64 // NIC head: next slot to produce into
+	cpu  uint64 // CPU pointer: next slot to consume
+	tail uint64 // NIC tail: next slot to free
+
+	// Drops counts packets rejected because the ring was full.
+	Drops uint64
+	// PoolDrops counts packets rejected because the mbuf pool was
+	// exhausted (pooled rings only).
+	PoolDrops uint64
+}
+
+// NewRing allocates a ring of the given size, carving descriptor and
+// buffer regions out of the layout. Each slot owns a fixed buffer, as
+// in the run-to-completion and copy recycling modes of Sec. II-B.
+func NewRing(size int, ly *mem.Layout) *Ring {
+	if size <= 0 {
+		panic(fmt.Sprintf("nic: ring size %d", size))
+	}
+	r := &Ring{size: size, slots: make([]Slot, size)}
+	descArea := ly.Alloc(uint64(size)*mem.DescBytes, mem.LineBytes)
+	for i := range r.slots {
+		r.slots[i].Index = i
+		r.slots[i].ring = r
+		r.slots[i].Desc = mem.Region{Base: descArea.Base + mem.Addr(i*mem.DescBytes), Size: mem.DescBytes}
+		r.slots[i].Buf = ly.Alloc(mem.MbufBytes, mem.MbufBytes)
+	}
+	return r
+}
+
+// AttachPool converts the ring to pooled (re-allocate, M2) operation:
+// slots draw their buffers from the pool at produce time, and an
+// application may detach a filled buffer for deferred processing,
+// replenishing the slot implicitly. The slots' original fixed buffers
+// are returned to no one — call this before any traffic flows.
+func (r *Ring) AttachPool(p *MbufPool) {
+	r.pool = p
+	for i := range r.slots {
+		r.slots[i].Buf = mem.Region{}
+	}
+}
+
+// Pool returns the attached mbuf pool (nil for fixed-buffer rings).
+func (r *Ring) Pool() *MbufPool { return r.pool }
+
+// Size returns the ring capacity.
+func (r *Ring) Size() int { return r.size }
+
+// Occupancy returns produced-but-not-freed slots (head - tail).
+func (r *Ring) Occupancy() int { return int(r.head - r.tail) }
+
+// UseDistance returns the lag between the NIC head and the CPU pointer
+// — the quantity the paper's Observation 4 correlates with LLC
+// pressure.
+func (r *Ring) UseDistance() int { return int(r.head - r.cpu) }
+
+// Full reports whether the NIC has no free slot to produce into.
+func (r *Ring) Full() bool { return r.Occupancy() == r.size }
+
+// Produce reserves the next slot for an incoming packet. Returns nil
+// (and counts a drop) when the ring is full, or — on pooled rings —
+// when the slot needs a buffer and the pool is empty.
+func (r *Ring) Produce(p *pkt.Packet) *Slot {
+	if r.Full() {
+		r.Drops++
+		return nil
+	}
+	s := &r.slots[r.head%uint64(r.size)]
+	if r.pool != nil && s.Buf.Size == 0 {
+		buf, ok := r.pool.Alloc()
+		if !ok {
+			r.PoolDrops++
+			return nil
+		}
+		s.Buf = buf
+	}
+	s.Pkt = p
+	s.PayloadBytes = p.Len()
+	s.ready = false
+	r.head++
+	return s
+}
+
+// DetachBuf transfers ownership of the slot's buffer to the caller
+// (the M2 "re-allocate" move): the slot is left bufferless and will
+// draw a fresh buffer from the pool on its next Produce. Only valid on
+// pooled rings. The caller must eventually return the buffer via
+// Pool().Free.
+func (s *Slot) DetachBuf() mem.Region {
+	if s.ring.pool == nil {
+		panic("nic: DetachBuf on a fixed-buffer ring")
+	}
+	b := s.Buf
+	s.Buf = mem.Region{}
+	return b
+}
+
+// Complete marks a produced slot's descriptor as written back, making
+// it visible to the polling driver at time t.
+func (r *Ring) Complete(s *Slot, t sim.Time) {
+	s.ready = true
+	s.ReadyAt = t
+}
+
+// Poll returns the next consumable slot if its descriptor writeback is
+// visible at time now; nil otherwise. It does not advance the CPU
+// pointer — Consume does.
+func (r *Ring) Poll(now sim.Time) *Slot {
+	if r.cpu == r.head {
+		return nil
+	}
+	s := &r.slots[r.cpu%uint64(r.size)]
+	if !s.ready || s.ReadyAt > now {
+		return nil
+	}
+	return s
+}
+
+// Consume advances the CPU pointer past the slot returned by Poll.
+func (r *Ring) Consume() {
+	if r.cpu == r.head {
+		panic("nic: consume past head")
+	}
+	r.cpu++
+}
+
+// Free returns the oldest consumed slot to the NIC (advances the
+// tail). Slots must be freed in order, as DPDK rings do.
+func (r *Ring) Free() {
+	if r.tail == r.cpu {
+		panic("nic: free past CPU pointer")
+	}
+	s := &r.slots[r.tail%uint64(r.size)]
+	s.Pkt = nil
+	s.ready = false
+	r.tail++
+}
+
+// FreeCount returns how many consumed slots await freeing.
+func (r *Ring) FreeCount() int { return int(r.cpu - r.tail) }
+
+// BufferRegion returns the union region spanned by all mbufs plus
+// descriptors — used to register Invalidatable pages.
+func (r *Ring) Slots() []Slot { return r.slots }

@@ -1,0 +1,30 @@
+package pcie
+
+import "testing"
+
+// FuzzDecodeDW0 checks that decoding any 32-bit word never panics and
+// always yields metadata that re-encodes to a word carrying the same
+// metadata (decode is total; encode∘decode is idempotent on the
+// reserved bits).
+func FuzzDecodeDW0(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Add(uint32(1<<31 | 1<<10))
+	f.Add(uint32(1<<23 | 1<<19 | 1<<18 | 1<<17 | 1<<16 | 1<<11))
+	f.Fuzz(func(t *testing.T, dw uint32) {
+		m := DecodeDW0(dw)
+		if m.AppClass > 1 {
+			t.Fatalf("decoded app class %d", m.AppClass)
+		}
+		if m.DestCore < 0 || m.DestCore >= MaxCores {
+			t.Fatalf("decoded core %d", m.DestCore)
+		}
+		re, err := EncodeDW0(m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded meta failed: %v", err)
+		}
+		if DecodeDW0(re) != m {
+			t.Fatalf("encode/decode not idempotent: %+v", m)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package pcie
+
+import (
+	"sort"
+
+	"idio/internal/mem"
+)
+
+// IOMMU validates DMA targets against registered mappings, as the
+// platform's address-translation unit would: a device may only reach
+// memory the driver has mapped for it (descriptor rings and packet
+// buffers). Unmapped accesses fault and are dropped instead of
+// corrupting arbitrary memory — both a safety net for the simulated
+// driver stack and a realism feature.
+type IOMMU struct {
+	regions []mem.Region // sorted by Base, non-overlapping
+
+	// ReadFaults/WriteFaults count rejected accesses.
+	ReadFaults  uint64
+	WriteFaults uint64
+}
+
+// NewIOMMU returns an IOMMU with no mappings (everything faults).
+func NewIOMMU() *IOMMU { return &IOMMU{} }
+
+// Map registers a region as DMA-able. Overlapping and adjacent
+// regions are coalesced so that lookups only ever need to inspect a
+// single predecessor; mapping is idempotent.
+func (u *IOMMU) Map(r mem.Region) {
+	if r.Size == 0 {
+		return
+	}
+	u.regions = append(u.regions, r)
+	sort.Slice(u.regions, func(i, j int) bool { return u.regions[i].Base < u.regions[j].Base })
+	merged := u.regions[:1]
+	for _, next := range u.regions[1:] {
+		last := &merged[len(merged)-1]
+		if next.Base <= last.End() {
+			if next.End() > last.End() {
+				last.Size = uint64(next.End() - last.Base)
+			}
+			continue
+		}
+		merged = append(merged, next)
+	}
+	u.regions = merged
+}
+
+// Mapped reports how many regions are registered.
+func (u *IOMMU) Mapped() int { return len(u.regions) }
+
+// Allowed reports whether the cacheline at lineAddr is inside any
+// mapping. Regions are disjoint after coalescing, so only the single
+// region with the greatest Base <= addr can contain it.
+func (u *IOMMU) Allowed(lineAddr uint64) bool {
+	addr := mem.LineAddr(lineAddr).Addr()
+	i := sort.Search(len(u.regions), func(i int) bool { return u.regions[i].Base > addr })
+	return i > 0 && u.regions[i-1].Contains(addr)
+}
+
+// CheckWrite validates a DMA write target, counting a fault when
+// rejected.
+func (u *IOMMU) CheckWrite(lineAddr uint64) bool {
+	if u.Allowed(lineAddr) {
+		return true
+	}
+	u.WriteFaults++
+	return false
+}
+
+// CheckRead validates a DMA read target.
+func (u *IOMMU) CheckRead(lineAddr uint64) bool {
+	if u.Allowed(lineAddr) {
+		return true
+	}
+	u.ReadFaults++
+	return false
+}

@@ -1,0 +1,117 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for core := 0; core < MaxCores; core++ {
+		for _, hdr := range []bool{false, true} {
+			for _, burst := range []bool{false, true} {
+				m := Meta{AppClass: 0, IsHeader: hdr, IsBurst: burst, DestCore: core}
+				dw, err := EncodeDW0(m)
+				if err != nil {
+					t.Fatalf("core %d: %v", core, err)
+				}
+				got := DecodeDW0(dw)
+				if got != m {
+					t.Fatalf("round trip: %+v -> %+v", m, got)
+				}
+			}
+		}
+	}
+}
+
+func TestClassOneEncoding(t *testing.T) {
+	m := Meta{AppClass: 1, DestCore: 5} // DestCore ignored for class 1
+	dw, err := EncodeDW0(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeDW0(dw)
+	if got.AppClass != 1 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.DestCore != 0 {
+		t.Fatalf("class-1 decode must not report a core: %+v", got)
+	}
+	// All six destCore bits must be set in the raw word.
+	for _, bit := range destCoreBits {
+		if dw&(1<<bit) == 0 {
+			t.Fatalf("class-1 DW0 %#x missing bit %d", dw, bit)
+		}
+	}
+}
+
+func TestExactBitPositions(t *testing.T) {
+	// destCore = 0b100001 (33): MSB -> bit 23, LSB -> bit 11.
+	dw, err := EncodeDW0(Meta{DestCore: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(1<<23 | 1<<11)
+	if dw != want {
+		t.Fatalf("DW0 = %#x, want %#x", dw, want)
+	}
+	// destCore = 0b011110 (30): bits 19:16.
+	dw, _ = EncodeDW0(Meta{DestCore: 30})
+	if dw != 1<<19|1<<18|1<<17|1<<16 {
+		t.Fatalf("DW0 = %#x", dw)
+	}
+	dw, _ = EncodeDW0(Meta{DestCore: 0, IsHeader: true, IsBurst: true})
+	if dw != 1<<31|1<<10 {
+		t.Fatalf("DW0 = %#x", dw)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, err := EncodeDW0(Meta{DestCore: 63}); err == nil {
+		t.Fatal("core 63 is reserved for class 1")
+	}
+	if _, err := EncodeDW0(Meta{DestCore: -1}); err == nil {
+		t.Fatal("negative core must fail")
+	}
+	if _, err := EncodeDW0(Meta{AppClass: 2}); err == nil {
+		t.Fatal("app class 2 must fail")
+	}
+}
+
+func TestWriteTLPMeta(t *testing.T) {
+	m := Meta{DestCore: 7, IsHeader: true}
+	tlp, err := NewWriteTLP(0x1234, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlp.LineAddr != 0x1234 {
+		t.Fatalf("addr %#x", tlp.LineAddr)
+	}
+	if tlp.Meta() != m {
+		t.Fatalf("meta %+v", tlp.Meta())
+	}
+}
+
+// Property: encode/decode is the identity on valid metadata, and the
+// encoder only ever touches the reserved bits from Fig. 7.
+func TestQuickEncodeOnlyReservedBits(t *testing.T) {
+	reserved := uint32(1<<31 | 1<<23 | 1<<19 | 1<<18 | 1<<17 | 1<<16 | 1<<11 | 1<<10)
+	f := func(core uint8, hdr, burst, class1 bool) bool {
+		m := Meta{IsHeader: hdr, IsBurst: burst}
+		if class1 {
+			m.AppClass = 1
+		} else {
+			m.DestCore = int(core) % MaxCores
+		}
+		dw, err := EncodeDW0(m)
+		if err != nil {
+			return false
+		}
+		if dw&^reserved != 0 {
+			return false
+		}
+		return DecodeDW0(dw) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

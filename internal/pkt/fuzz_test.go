@@ -1,0 +1,70 @@
+package pkt
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the frame parser: it must never
+// panic, and any frame it accepts must re-serialise consistently
+// (fields within their domains).
+func FuzzParse(f *testing.F) {
+	good, _ := Build(Spec{
+		SrcIP: IPv4{10, 0, 0, 1}, DstIP: IPv4{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 80, DSCP: 46, FrameLen: 128,
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeadersLen))
+	truncated := append([]byte(nil), good[:20]...)
+	f.Add(truncated)
+	corrupt := append([]byte(nil), good...)
+	corrupt[EthHeaderLen+10] ^= 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fields, err := Parse(data)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		if fields.DSCP > 63 {
+			t.Fatalf("accepted frame with DSCP %d", fields.DSCP)
+		}
+		if fields.EtherType != EtherTypeIPv4 {
+			t.Fatalf("accepted non-IPv4 ethertype %#x", fields.EtherType)
+		}
+		// Accepted frames must carry a checksum-valid IPv4 header, so
+		// rewriting the DSCP and reparsing must also succeed.
+		buf := append([]byte(nil), data...)
+		if err := SetDSCP(buf, 1); err != nil {
+			t.Fatalf("SetDSCP on accepted frame: %v", err)
+		}
+		if _, err := Parse(buf); err != nil {
+			t.Fatalf("reparse after SetDSCP: %v", err)
+		}
+	})
+}
+
+// FuzzBuildParseRoundTrip drives Build with arbitrary field values:
+// any spec Build accepts must parse back to identical fields.
+func FuzzBuildParseRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint16(1), uint16(2), 64)
+	f.Add(uint8(46), uint16(5000), uint16(9000), 1514)
+	f.Add(uint8(63), uint16(0), uint16(65535), HeadersLen)
+	f.Fuzz(func(t *testing.T, dscp uint8, sp, dp uint16, frameLen int) {
+		spec := Spec{
+			SrcIP: IPv4{192, 168, 1, 1}, DstIP: IPv4{192, 168, 1, 2},
+			SrcPort: sp, DstPort: dp, DSCP: dscp, FrameLen: frameLen,
+		}
+		frame, err := Build(spec)
+		if err != nil {
+			return
+		}
+		got, err := Parse(frame)
+		if err != nil {
+			t.Fatalf("built frame failed to parse: %v", err)
+		}
+		if got.DSCP != dscp || got.SrcPort != sp || got.DstPort != dp {
+			t.Fatalf("round trip mismatch: %+v", got)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+// Package pkt models network packets at the fidelity IDIO needs: real
+// Ethernet/IPv4/UDP header layouts (so the NIC classifier can parse
+// DSCP and 5-tuples from bytes, exactly as hardware would), plus the
+// simulation metadata carried alongside each packet.
+package pkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes in bytes.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	HeadersLen    = EthHeaderLen + IPv4HeaderLen + UDPHeaderLen
+	MinFrameLen   = 64
+	MTUFrameLen   = 1514
+)
+
+// EtherType values.
+const EtherTypeIPv4 = 0x0800
+
+// IP protocol numbers.
+const (
+	ProtoUDP = 17
+	ProtoTCP = 6
+)
+
+// MAC is a 6-byte Ethernet address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IPv4 is a 4-byte address.
+type IPv4 [4]byte
+
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// FiveTuple identifies a flow: the key Flow Director hashes to pick a
+// filter-table entry.
+type FiveTuple struct {
+	Src, Dst         IPv4
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Packet is one network frame plus simulation metadata.
+type Packet struct {
+	// Frame is the on-wire bytes (headers + payload).
+	Frame []byte
+	// ArrivalTime is stamped by the generator when the packet reaches
+	// the NIC; latency measurements are relative to it.
+	ArrivalTimePS int64
+	// Seq is a generator-assigned sequence number (diagnostics).
+	Seq uint64
+}
+
+// Len returns the frame length in bytes.
+func (p *Packet) Len() int { return len(p.Frame) }
+
+// Fields is the parsed view of a frame's headers.
+type Fields struct {
+	SrcMAC, DstMAC MAC
+	EtherType      uint16
+	DSCP           uint8 // differentiated services code point (6 bits)
+	ECN            uint8
+	TotalLen       uint16
+	TTL            uint8
+	Proto          uint8
+	SrcIP, DstIP   IPv4
+	SrcPort        uint16
+	DstPort        uint16
+}
+
+// Tuple returns the flow 5-tuple.
+func (f *Fields) Tuple() FiveTuple {
+	return FiveTuple{Src: f.SrcIP, Dst: f.DstIP, SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: f.Proto}
+}
+
+// Spec describes a frame to build.
+type Spec struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   IPv4
+	SrcPort        uint16
+	DstPort        uint16
+	// DSCP carries the application class (Sec. V-A): the sender encodes
+	// its class in the IP header's DS field.
+	DSCP uint8
+	TTL  uint8
+	// FrameLen is the total frame size including all headers; payload
+	// is zero-filled. Must be >= HeadersLen.
+	FrameLen int
+}
+
+// Build marshals a UDP/IPv4/Ethernet frame from the spec.
+func Build(s Spec) ([]byte, error) {
+	if s.FrameLen < HeadersLen {
+		return nil, fmt.Errorf("pkt: frame length %d below header size %d", s.FrameLen, HeadersLen)
+	}
+	if s.DSCP > 63 {
+		return nil, fmt.Errorf("pkt: DSCP %d exceeds 6 bits", s.DSCP)
+	}
+	if s.TTL == 0 {
+		s.TTL = 64
+	}
+	f := make([]byte, s.FrameLen)
+	// Ethernet.
+	copy(f[0:6], s.DstMAC[:])
+	copy(f[6:12], s.SrcMAC[:])
+	binary.BigEndian.PutUint16(f[12:14], EtherTypeIPv4)
+	// IPv4.
+	ip := f[EthHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = s.DSCP << 2
+	ipTotal := s.FrameLen - EthHeaderLen
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	ip[8] = s.TTL
+	ip[9] = ProtoUDP
+	copy(ip[12:16], s.SrcIP[:])
+	copy(ip[16:20], s.DstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4HeaderLen]))
+	// UDP.
+	udp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], s.SrcPort)
+	binary.BigEndian.PutUint16(udp[2:4], s.DstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(ipTotal-IPv4HeaderLen))
+	// UDP checksum left zero (optional for IPv4).
+	return f, nil
+}
+
+// Errors returned by Parse.
+var (
+	ErrTruncated   = errors.New("pkt: truncated frame")
+	ErrNotIPv4     = errors.New("pkt: not an IPv4 frame")
+	ErrBadChecksum = errors.New("pkt: bad IPv4 header checksum")
+	ErrBadVersion  = errors.New("pkt: bad IP version/IHL")
+)
+
+// Parse decodes the headers of a frame. It validates the IPv4 header
+// checksum, as a NIC parsing engine would.
+func Parse(f []byte) (Fields, error) {
+	var out Fields
+	if len(f) < HeadersLen {
+		return out, ErrTruncated
+	}
+	copy(out.DstMAC[:], f[0:6])
+	copy(out.SrcMAC[:], f[6:12])
+	out.EtherType = binary.BigEndian.Uint16(f[12:14])
+	if out.EtherType != EtherTypeIPv4 {
+		return out, ErrNotIPv4
+	}
+	ip := f[EthHeaderLen:]
+	if ip[0] != 0x45 {
+		return out, ErrBadVersion
+	}
+	if ipChecksum(ip[:IPv4HeaderLen]) != 0 {
+		return out, ErrBadChecksum
+	}
+	out.DSCP = ip[1] >> 2
+	out.ECN = ip[1] & 3
+	out.TotalLen = binary.BigEndian.Uint16(ip[2:4])
+	out.TTL = ip[8]
+	out.Proto = ip[9]
+	copy(out.SrcIP[:], ip[12:16])
+	copy(out.DstIP[:], ip[16:20])
+	l4 := ip[IPv4HeaderLen:]
+	out.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+	out.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	return out, nil
+}
+
+// ipChecksum computes the standard one's-complement sum over the
+// header. Computing it over a header with the checksum field filled in
+// yields zero iff the checksum is valid.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	if len(hdr)%2 == 1 {
+		sum += uint32(hdr[len(hdr)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// SetDSCP rewrites the DS field of an already-built frame and fixes the
+// IPv4 checksum. This models applications updating their class on the
+// fly via setsockopt (Sec. V-A).
+func SetDSCP(f []byte, dscp uint8) error {
+	if len(f) < EthHeaderLen+IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if dscp > 63 {
+		return fmt.Errorf("pkt: DSCP %d exceeds 6 bits", dscp)
+	}
+	ip := f[EthHeaderLen:]
+	ip[1] = dscp<<2 | ip[1]&3
+	ip[10], ip[11] = 0, 0
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4HeaderLen]))
+	return nil
+}

@@ -1,0 +1,160 @@
+package pkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func spec(frameLen int, dscp uint8) Spec {
+	return Spec{
+		SrcMAC:  MAC{0x02, 0, 0, 0, 0, 1},
+		DstMAC:  MAC{0x02, 0, 0, 0, 0, 2},
+		SrcIP:   IPv4{10, 0, 0, 1},
+		DstIP:   IPv4{10, 0, 0, 2},
+		SrcPort: 5000, DstPort: 8080,
+		DSCP: dscp, FrameLen: frameLen,
+	}
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	f, err := Build(spec(1514, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1514 {
+		t.Fatalf("frame len %d", len(f))
+	}
+	got, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DSCP != 7 || got.Proto != ProtoUDP || got.SrcPort != 5000 || got.DstPort != 8080 {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got.SrcIP != (IPv4{10, 0, 0, 1}) || got.DstIP != (IPv4{10, 0, 0, 2}) {
+		t.Fatalf("IPs %v %v", got.SrcIP, got.DstIP)
+	}
+	if got.TotalLen != 1500 {
+		t.Fatalf("ip total len %d, want 1500", got.TotalLen)
+	}
+	if got.TTL != 64 {
+		t.Fatalf("default TTL %d", got.TTL)
+	}
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	if _, err := Build(spec(10, 0)); err == nil {
+		t.Fatal("short frame must be rejected")
+	}
+	if _, err := Build(spec(100, 64)); err == nil {
+		t.Fatal("7-bit DSCP must be rejected")
+	}
+}
+
+func TestParseValidatesChecksum(t *testing.T) {
+	f, _ := Build(spec(128, 0))
+	f[EthHeaderLen+8] ^= 0xff // corrupt TTL
+	if _, err := Parse(f); err != ErrBadChecksum {
+		t.Fatalf("err = %v, want checksum error", err)
+	}
+}
+
+func TestParseRejectsTruncatedAndNonIP(t *testing.T) {
+	if _, err := Parse(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+	f, _ := Build(spec(128, 0))
+	f[12], f[13] = 0x86, 0xdd // IPv6 ethertype
+	if _, err := Parse(f); err != ErrNotIPv4 {
+		t.Fatalf("err = %v", err)
+	}
+	f2, _ := Build(spec(128, 0))
+	f2[EthHeaderLen] = 0x46 // IHL 6
+	if _, err := Parse(f2); err != ErrBadVersion {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetDSCPPreservesChecksumValidity(t *testing.T) {
+	f, _ := Build(spec(256, 1))
+	if err := SetDSCP(f, 63); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(f)
+	if err != nil {
+		t.Fatalf("reparse after SetDSCP: %v", err)
+	}
+	if got.DSCP != 63 {
+		t.Fatalf("dscp = %d", got.DSCP)
+	}
+	if err := SetDSCP(f, 64); err == nil {
+		t.Fatal("out-of-range DSCP must fail")
+	}
+	if err := SetDSCP(make([]byte, 5), 1); err == nil {
+		t.Fatal("short frame must fail")
+	}
+}
+
+func TestTupleExtraction(t *testing.T) {
+	f, _ := Build(spec(200, 0))
+	fl, _ := Parse(f)
+	tp := fl.Tuple()
+	want := FiveTuple{Src: IPv4{10, 0, 0, 1}, Dst: IPv4{10, 0, 0, 2}, SrcPort: 5000, DstPort: 8080, Proto: ProtoUDP}
+	if tp != want {
+		t.Fatalf("tuple %+v", tp)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if (MAC{0xde, 0xad, 0xbe, 0xef, 0, 1}).String() != "de:ad:be:ef:00:01" {
+		t.Fatal("MAC format")
+	}
+	if (IPv4{192, 168, 0, 1}).String() != "192.168.0.1" {
+		t.Fatal("IP format")
+	}
+}
+
+// Property: any valid spec builds a frame that parses back to the same
+// field values.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(srcIP, dstIP [4]byte, sp, dp uint16, dscpRaw uint8, extra uint16) bool {
+		s := Spec{
+			SrcIP: IPv4(srcIP), DstIP: IPv4(dstIP),
+			SrcPort: sp, DstPort: dp,
+			DSCP:     dscpRaw & 63,
+			FrameLen: HeadersLen + int(extra%1473),
+		}
+		frame, err := Build(s)
+		if err != nil {
+			return false
+		}
+		got, err := Parse(frame)
+		if err != nil {
+			return false
+		}
+		return got.SrcIP == s.SrcIP && got.DstIP == s.DstIP &&
+			got.SrcPort == sp && got.DstPort == dp && got.DSCP == s.DSCP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	s := spec(1514, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	f, _ := Build(spec(1514, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

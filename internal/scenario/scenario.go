@@ -1,0 +1,313 @@
+// Package scenario loads declarative simulation scenarios from JSON,
+// so users can describe custom systems and workloads without writing
+// Go. The schema covers the knobs the paper's evaluation varies:
+// policy, cache geometry, ring size, thresholds, workloads per core,
+// traffic shapes, and the optional LLC antagonist.
+//
+// Example:
+//
+//	{
+//	  "name": "two-touchdrop-idio",
+//	  "policy": "IDIO",
+//	  "cores": 2,
+//	  "ringSize": 1024,
+//	  "horizonMS": 9,
+//	  "nfs": [
+//	    {"core": 0, "app": "TouchDrop", "frameLen": 1514,
+//	     "traffic": {"kind": "bursty", "gbps": 25, "packetsPerBurst": 1024, "numBursts": 1}},
+//	    {"core": 1, "app": "L2Fwd", "frameLen": 1024,
+//	     "traffic": {"kind": "steady", "gbps": 10, "count": 4096}}
+//	  ]
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"idio"
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/cpu"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+// Traffic describes one flow's arrival process.
+type Traffic struct {
+	// Kind is "steady" or "bursty".
+	Kind string  `json:"kind"`
+	Gbps float64 `json:"gbps"`
+	// Count bounds a steady stream (packets).
+	Count uint64 `json:"count,omitempty"`
+	// PacketsPerBurst/NumBursts/PeriodMS shape a bursty stream.
+	PacketsPerBurst int     `json:"packetsPerBurst,omitempty"`
+	NumBursts       int     `json:"numBursts,omitempty"`
+	PeriodMS        float64 `json:"periodMS,omitempty"`
+}
+
+// NF binds an application and its traffic to a core.
+type NF struct {
+	Core     int     `json:"core"`
+	App      string  `json:"app"` // TouchDrop | L2Fwd | L2FwdQueued | L2FwdDropPayload | CopyNF | NAT | ReallocNF
+	FrameLen int     `json:"frameLen,omitempty"`
+	DSCP     uint8   `json:"dscp,omitempty"`
+	Traffic  Traffic `json:"traffic"`
+}
+
+// Antagonist adds the LLC-thrashing co-runner.
+type Antagonist struct {
+	Core  int `json:"core"`
+	BufKB int `json:"bufKB"`
+	MLCKB int `json:"mlcKB,omitempty"`
+}
+
+// Scenario is the root document.
+type Scenario struct {
+	Name   string `json:"name"`
+	Policy string `json:"policy"` // DDIO | Invalidate | Prefetch | Static | IDIO
+	Cores  int    `json:"cores"`
+
+	RingSize  int     `json:"ringSize,omitempty"`
+	LLCSizeKB int     `json:"llcSizeKB,omitempty"`
+	MLCSizeKB int     `json:"mlcSizeKB,omitempty"`
+	DDIOWays  int     `json:"ddioWays,omitempty"`
+	MLCTHR    uint64  `json:"mlcTHR,omitempty"`
+	Driver    string  `json:"driver,omitempty"` // polling (default) | interrupt
+	HorizonMS float64 `json:"horizonMS"`
+	// ClassOneDSCPs marks application-class-1 code points.
+	ClassOneDSCPs []uint8 `json:"classOneDSCPs,omitempty"`
+	// TracePackets enables per-packet stage tracing, retaining up to
+	// this many records per core.
+	TracePackets int `json:"tracePackets,omitempty"`
+
+	NFs        []NF        `json:"nfs"`
+	Antagonist *Antagonist `json:"antagonist,omitempty"`
+}
+
+// Save writes the scenario as indented JSON (the inverse of Load).
+func (sc Scenario) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// Load parses and validates a scenario document.
+func Load(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return sc, fmt.Errorf("scenario: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, err
+	}
+	return sc, nil
+}
+
+// Validate checks internal consistency.
+func (sc Scenario) Validate() error {
+	if sc.Cores <= 0 {
+		return fmt.Errorf("scenario %q: cores must be positive", sc.Name)
+	}
+	if _, err := sc.policy(); err != nil {
+		return err
+	}
+	if sc.HorizonMS <= 0 {
+		return fmt.Errorf("scenario %q: horizonMS must be positive", sc.Name)
+	}
+	if len(sc.NFs) == 0 {
+		return fmt.Errorf("scenario %q: at least one NF required", sc.Name)
+	}
+	switch sc.Driver {
+	case "", "polling", "interrupt":
+	default:
+		return fmt.Errorf("scenario %q: unknown driver %q", sc.Name, sc.Driver)
+	}
+	seen := map[int]bool{}
+	for i, nf := range sc.NFs {
+		if nf.Core < 0 || nf.Core >= sc.Cores {
+			return fmt.Errorf("scenario %q: nf %d core %d out of range", sc.Name, i, nf.Core)
+		}
+		if seen[nf.Core] {
+			return fmt.Errorf("scenario %q: core %d has two NFs", sc.Name, nf.Core)
+		}
+		seen[nf.Core] = true
+		if _, err := appFor(nf.App, nil); err != nil {
+			return fmt.Errorf("scenario %q: nf %d: %w", sc.Name, i, err)
+		}
+		switch nf.Traffic.Kind {
+		case "steady":
+			if nf.Traffic.Count == 0 {
+				return fmt.Errorf("scenario %q: nf %d steady traffic needs count", sc.Name, i)
+			}
+		case "bursty":
+			if nf.Traffic.PacketsPerBurst <= 0 || nf.Traffic.NumBursts <= 0 {
+				return fmt.Errorf("scenario %q: nf %d bursty traffic needs packetsPerBurst and numBursts", sc.Name, i)
+			}
+		default:
+			return fmt.Errorf("scenario %q: nf %d unknown traffic kind %q", sc.Name, i, nf.Traffic.Kind)
+		}
+		if nf.Traffic.Gbps <= 0 {
+			return fmt.Errorf("scenario %q: nf %d needs a positive rate", sc.Name, i)
+		}
+	}
+	if sc.Antagonist != nil {
+		if sc.Antagonist.Core < 0 || sc.Antagonist.Core >= sc.Cores {
+			return fmt.Errorf("scenario %q: antagonist core out of range", sc.Name)
+		}
+		if seen[sc.Antagonist.Core] {
+			return fmt.Errorf("scenario %q: antagonist shares core %d with an NF", sc.Name, sc.Antagonist.Core)
+		}
+		if sc.Antagonist.BufKB <= 0 {
+			return fmt.Errorf("scenario %q: antagonist needs bufKB", sc.Name)
+		}
+	}
+	return nil
+}
+
+func (sc Scenario) policy() (idiocore.Policy, error) {
+	switch sc.Policy {
+	case "DDIO", "":
+		return idiocore.PolicyDDIO, nil
+	case "Invalidate":
+		return idiocore.PolicyInvalidate, nil
+	case "Prefetch":
+		return idiocore.PolicyPrefetch, nil
+	case "Static":
+		return idiocore.PolicyStatic, nil
+	case "IDIO":
+		return idiocore.PolicyIDIO, nil
+	default:
+		return idiocore.Policy{}, fmt.Errorf("scenario %q: unknown policy %q", sc.Name, sc.Policy)
+	}
+}
+
+func appFor(name string, sys *idio.System) (cpu.App, error) {
+	switch name {
+	case "TouchDrop":
+		return apps.TouchDrop{}, nil
+	case "L2Fwd":
+		return apps.L2Fwd{}, nil
+	case "L2FwdQueued":
+		return &apps.L2FwdQueued{}, nil
+	case "L2FwdDropPayload":
+		return apps.L2FwdDropPayload{}, nil
+	case "CopyNF":
+		if sys == nil {
+			return &apps.CopyNF{}, nil // validation pass
+		}
+		return &apps.CopyNF{Dst: sys.AllocRegion(1 << 20)}, nil
+	case "NAT":
+		if sys == nil {
+			return &apps.NAT{}, nil // validation pass
+		}
+		return &apps.NAT{Table: sys.AllocRegion(4 << 20)}, nil
+	case "ReallocNF":
+		return &apps.ReallocNF{}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q", name)
+	}
+}
+
+// Run builds, executes, and summarises the scenario. It returns the
+// run results and the antagonist's CPI (zero when not configured).
+func Run(sc Scenario) (idio.Results, float64, error) {
+	_, res, cpi, err := RunSystem(sc)
+	return res, cpi, err
+}
+
+// RunSystem is Run but additionally returns the live system so callers
+// can inspect post-run state (per-packet traces, cache occupancies).
+func RunSystem(sc Scenario) (*idio.System, idio.Results, float64, error) {
+	pol, err := sc.policy()
+	if err != nil {
+		return nil, idio.Results{}, 0, err
+	}
+	cfg := idio.DefaultConfig(sc.Cores)
+	cfg.Policy = pol
+	if sc.RingSize > 0 {
+		cfg.NIC.RingSize = sc.RingSize
+	}
+	if sc.LLCSizeKB > 0 {
+		cfg.Hier.LLCSize = sc.LLCSizeKB << 10
+	}
+	if sc.MLCSizeKB > 0 {
+		cfg.Hier.MLCSize = sc.MLCSizeKB << 10
+	}
+	if sc.DDIOWays > 0 {
+		cfg.Hier.DDIOWays = sc.DDIOWays
+	}
+	if sc.MLCTHR > 0 {
+		cfg.Controller.MLCTHR = sc.MLCTHR
+	}
+	if len(sc.ClassOneDSCPs) > 0 {
+		cfg.Classifier.ClassOneDSCPs = sc.ClassOneDSCPs
+	}
+	if sc.Driver == "interrupt" {
+		cfg.CPU.Driver = cpu.DriverInterrupt
+	}
+	if sc.TracePackets > 0 {
+		cfg.CPU.TraceCapacity = sc.TracePackets
+	}
+	if sc.Antagonist != nil && sc.Antagonist.MLCKB > 0 {
+		sizes := make([]int, sc.Cores)
+		sizes[sc.Antagonist.Core] = sc.Antagonist.MLCKB << 10
+		cfg.Hier.MLCSizePerCore = sizes
+	}
+
+	sys := idio.NewSystem(cfg)
+	for _, nf := range sc.NFs {
+		app, err := appFor(nf.App, sys)
+		if err != nil {
+			return nil, idio.Results{}, 0, err
+		}
+		flow := sys.DefaultFlow(nf.Core)
+		if nf.FrameLen > 0 {
+			flow.FrameLen = nf.FrameLen
+		}
+		flow.DSCP = nf.DSCP
+		if _, isRealloc := app.(*apps.ReallocNF); isRealloc {
+			// The re-allocate mode needs pooled rings on every port.
+			for _, port := range sys.Ports() {
+				port.Ring(nf.Core).AttachPool(sys.NewMbufPool(2 * cfg.NIC.RingSize))
+			}
+		}
+		sys.AddNF(nf.Core, app, flow)
+		switch nf.Traffic.Kind {
+		case "steady":
+			traffic.Steady{
+				Flow: flow, RateBps: traffic.Gbps(nf.Traffic.Gbps), Count: nf.Traffic.Count,
+			}.Install(sys.Sim, sys.NIC)
+		case "bursty":
+			period := nf.Traffic.PeriodMS
+			if period == 0 {
+				period = 10
+			}
+			traffic.Bursty{
+				Flow:            flow,
+				BurstRateBps:    traffic.Gbps(nf.Traffic.Gbps),
+				Period:          sim.Duration(period * float64(sim.Millisecond)),
+				PacketsPerBurst: nf.Traffic.PacketsPerBurst,
+				NumBursts:       nf.Traffic.NumBursts,
+			}.Install(sys.Sim, sys.NIC)
+		}
+	}
+	var ant *apps.LLCAntagonist
+	if sc.Antagonist != nil {
+		buf := sys.AllocRegion(uint64(sc.Antagonist.BufKB) << 10)
+		ant = apps.NewLLCAntagonist(sc.Antagonist.Core, buf, cfg.Hier.Clock, sys.Hier, 1)
+	}
+	sys.Start()
+	if ant != nil {
+		ant.Start(sys.Sim)
+	}
+	res := sys.RunUntilIdle(sim.Duration(sc.HorizonMS * float64(sim.Millisecond)))
+	cpi := 0.0
+	if ant != nil {
+		cpi = ant.CPI()
+	}
+	return sys, res, cpi, nil
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const validJSON = `{
+  "name": "test",
+  "policy": "IDIO",
+  "cores": 2,
+  "ringSize": 256,
+  "mlcSizeKB": 256,
+  "llcSizeKB": 768,
+  "horizonMS": 9,
+  "nfs": [
+    {"core": 0, "app": "TouchDrop", "frameLen": 1514,
+     "traffic": {"kind": "bursty", "gbps": 25, "packetsPerBurst": 256, "numBursts": 1}},
+    {"core": 1, "app": "L2Fwd", "frameLen": 1024,
+     "traffic": {"kind": "steady", "gbps": 5, "count": 512}}
+  ]
+}`
+
+func TestLoadValidScenario(t *testing.T) {
+	sc, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "test" || sc.Cores != 2 || len(sc.NFs) != 2 {
+		t.Fatalf("parsed %+v", sc)
+	}
+}
+
+func TestRunScenarioEndToEnd(t *testing.T) {
+	sc, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cpi, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed() != 256+512 {
+		t.Fatalf("processed %d, want 768", res.TotalProcessed())
+	}
+	if cpi != 0 {
+		t.Fatal("no antagonist configured")
+	}
+	// IDIO policy: self-invalidation ran.
+	if res.Hier.SelfInval == 0 {
+		t.Fatal("IDIO scenario must self-invalidate")
+	}
+}
+
+func TestRunScenarioWithAntagonistAndInterrupts(t *testing.T) {
+	doc := `{
+	  "name": "co",
+	  "policy": "DDIO",
+	  "cores": 3,
+	  "ringSize": 128,
+	  "mlcSizeKB": 256,
+	  "llcSizeKB": 768,
+	  "driver": "interrupt",
+	  "horizonMS": 9,
+	  "nfs": [
+	    {"core": 0, "app": "TouchDrop",
+	     "traffic": {"kind": "steady", "gbps": 5, "count": 256}},
+	    {"core": 1, "app": "L2FwdDropPayload",
+	     "traffic": {"kind": "steady", "gbps": 5, "count": 256}}
+	  ],
+	  "antagonist": {"core": 2, "bufKB": 512, "mlcKB": 128}
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, cpi, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed() != 512 {
+		t.Fatalf("processed %d", res.TotalProcessed())
+	}
+	if cpi <= 0 {
+		t.Fatalf("antagonist CPI %v", cpi)
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `{"name":"x","cores":1,"horizonMS":1,"bogus":1,"nfs":[]}`,
+		"no cores":          `{"name":"x","horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"bad policy":        `{"name":"x","policy":"MAGIC","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"no nfs":            `{"name":"x","cores":1,"horizonMS":1,"nfs":[]}`,
+		"core out of range": `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":3,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"duplicate core":    `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}},{"core":0,"app":"L2Fwd","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"bad app":           `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"Nope","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"bad traffic kind":  `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"poisson","gbps":1}}]}`,
+		"steady no count":   `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1}}]}`,
+		"bursty no size":    `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"bursty","gbps":1}}]}`,
+		"zero rate":         `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":0,"count":1}}]}`,
+		"bad driver":        `{"name":"x","cores":1,"driver":"dpdk","horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+		"antagonist clash":  `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}],"antagonist":{"core":0,"bufKB":64}}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestShippedScenarioFileIsValid(t *testing.T) {
+	f, err := os.Open("../../scenarios/mixed_nfs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "mixed-nfs" || len(sc.NFs) != 3 {
+		t.Fatalf("shipped scenario parsed as %+v", sc)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sc, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-load of saved scenario: %v\n%s", err, buf.String())
+	}
+	if back.Name != sc.Name || back.Policy != sc.Policy || len(back.NFs) != len(sc.NFs) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, sc)
+	}
+	for i := range sc.NFs {
+		if back.NFs[i] != sc.NFs[i] {
+			t.Fatalf("nf %d mismatch: %+v vs %+v", i, back.NFs[i], sc.NFs[i])
+		}
+	}
+}
+
+func TestReallocScenarioRuns(t *testing.T) {
+	doc := `{
+	  "name": "m2",
+	  "policy": "IDIO",
+	  "cores": 1,
+	  "ringSize": 128,
+	  "mlcSizeKB": 256,
+	  "llcSizeKB": 768,
+	  "horizonMS": 9,
+	  "nfs": [{"core": 0, "app": "ReallocNF",
+	           "traffic": {"kind": "steady", "gbps": 5, "count": 200}}]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed() != 200 {
+		t.Fatalf("processed %d", res.TotalProcessed())
+	}
+}
+
+func TestCopyNFScenario(t *testing.T) {
+	doc := `{
+	  "name": "copy",
+	  "policy": "Invalidate",
+	  "cores": 1,
+	  "ringSize": 64,
+	  "mlcSizeKB": 256,
+	  "llcSizeKB": 768,
+	  "horizonMS": 9,
+	  "nfs": [{"core": 0, "app": "CopyNF",
+	           "traffic": {"kind": "steady", "gbps": 2, "count": 128}}]
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed() != 128 {
+		t.Fatalf("processed %d", res.TotalProcessed())
+	}
+}

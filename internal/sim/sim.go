@@ -1,0 +1,216 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is kept in integer picoseconds so that a 3 GHz CPU cycle (333⅓ ps)
+// and cache latencies expressed in core cycles convert without rounding
+// drift accumulating across billions of events. Events scheduled for the
+// same instant fire in FIFO order of scheduling, which keeps runs
+// reproducible regardless of map iteration or goroutine scheduling.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is an absolute simulation timestamp in picoseconds.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Never is a sentinel Time later than any reachable simulation instant.
+const Never Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds reports t as a float64 count of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds reports d as a float64 count of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Microseconds reports d as a float64 count of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+// Clock converts between core cycles and simulated time for a fixed
+// frequency. It is shared by every component that reasons in cycles.
+type Clock struct {
+	freqHz int64 // e.g. 3e9
+}
+
+// NewClock returns a clock for the given frequency in Hz.
+func NewClock(freqHz int64) Clock {
+	if freqHz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	return Clock{freqHz: freqHz}
+}
+
+// FreqHz returns the clock frequency in Hz.
+func (c Clock) FreqHz() int64 { return c.freqHz }
+
+// Cycles converts a cycle count to a duration. The conversion rounds to
+// the nearest picosecond; at 3 GHz one cycle is 333 ps. The computation
+// is split so that n*Second never overflows int64 even for cycle counts
+// in the billions.
+func (c Clock) Cycles(n int64) Duration {
+	q, r := n/c.freqHz, n%c.freqHz
+	whole := Duration(q * int64(Second))
+	psPerCycle := int64(Second) / c.freqHz
+	rem := int64(Second) % c.freqHz
+	frac := Duration(r*psPerCycle + (r*rem+c.freqHz/2)/c.freqHz)
+	return whole + frac
+}
+
+// ToCycles converts a duration to a (possibly fractional) cycle count.
+func (c Clock) ToCycles(d Duration) float64 {
+	return float64(d) * float64(c.freqHz) / float64(Second)
+}
+
+// Event is a scheduled callback. The callback receives the simulator so
+// that handlers can schedule follow-up work.
+type Event func(s *Simulator)
+
+type schedEvent struct {
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among same-time events
+	fn   Event
+	name string
+}
+
+type eventHeap []*schedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*schedEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the event queue and the current simulated time.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	horizon   Time // hard stop; events beyond are not executed
+	stopped   bool
+}
+
+// New returns an empty simulator positioned at time zero.
+func New() *Simulator {
+	return &Simulator{horizon: Never}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time at. Scheduling into the past
+// panics: it would silently reorder causality.
+func (s *Simulator) At(at Time, fn Event) {
+	s.AtNamed(at, "", fn)
+}
+
+// AtNamed is At with a diagnostic label used in panic messages.
+func (s *Simulator) AtNamed(at Time, name string, fn Event) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	s.seq++
+	heap.Push(&s.events, &schedEvent{at: at, seq: s.seq, fn: fn, name: name})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d Duration, fn Event) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.At(s.now.Add(d), fn)
+}
+
+// Every schedules fn to run at a fixed period, starting at start. The
+// task reschedules itself forever; RunUntil simply leaves the next
+// tick queued when it lies past the horizon, so periodic tasks survive
+// segmented runs (RunUntil called repeatedly). Periodic tasks drive
+// the IDIO controller's 1 µs and 8192 µs control-plane loops. A
+// simulation with periodic tasks must be driven with RunUntil, not
+// Run.
+func (s *Simulator) Every(start Time, period Duration, fn Event) {
+	if period <= 0 {
+		panic("sim: non-positive period")
+	}
+	var tick Event
+	tick = func(sm *Simulator) {
+		fn(sm)
+		sm.At(sm.now.Add(period), tick)
+	}
+	s.At(start, tick)
+}
+
+// Stop halts the run loop after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// RunUntil executes events in timestamp order until the queue is empty
+// or the next event is later than horizon. It returns the number of
+// events executed.
+func (s *Simulator) RunUntil(horizon Time) uint64 {
+	s.horizon = horizon
+	s.stopped = false
+	start := s.processed
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > horizon {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.processed++
+		next.fn(s)
+	}
+	// Advance the clock to the horizon even if the queue drained early,
+	// so rate computations over [0, horizon] are well defined.
+	if !s.stopped && s.now < horizon && horizon != Never {
+		s.now = horizon
+	}
+	return s.processed - start
+}
+
+// Run executes until the event queue is empty.
+func (s *Simulator) Run() uint64 { return s.RunUntil(Never) }

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockCycleConversion(t *testing.T) {
+	c := NewClock(3_000_000_000)
+	if got := c.Cycles(3); got != 1*Nanosecond {
+		t.Fatalf("3 cycles at 3GHz = %d ps, want 1000", got)
+	}
+	if got := c.Cycles(1); got != 333 {
+		t.Fatalf("1 cycle at 3GHz = %d ps, want 333", got)
+	}
+	if got := c.ToCycles(1 * Microsecond); got != 3000 {
+		t.Fatalf("1us at 3GHz = %v cycles, want 3000", got)
+	}
+}
+
+func TestClockRoundTripApprox(t *testing.T) {
+	c := NewClock(3_000_000_000)
+	for _, n := range []int64{1, 2, 3, 10, 100, 12345, 1 << 30} {
+		d := c.Cycles(n)
+		back := c.ToCycles(d)
+		if diff := back - float64(n); diff > 0.01*float64(n)+0.01 || diff < -0.01*float64(n)-0.01 {
+			t.Errorf("cycles %d -> %d ps -> %v cycles", n, d, back)
+		}
+	}
+}
+
+func TestNewClockPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero frequency")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var order []Time
+	for _, at := range []Time{500, 100, 300, 200, 400} {
+		at := at
+		s.At(at, func(sm *Simulator) {
+			if sm.Now() != at {
+				t.Errorf("event at %d fired at %d", at, sm.Now())
+			}
+			order = append(order, at)
+		})
+	}
+	s.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("executed %d events, want 5", len(order))
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func(*Simulator) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulingPastPanics(t *testing.T) {
+	s := New()
+	s.At(100, func(sm *Simulator) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling into the past")
+			}
+		}()
+		sm.At(50, func(*Simulator) {})
+	})
+	s.Run()
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired Time
+	s.At(100, func(sm *Simulator) {
+		sm.After(25, func(sm2 *Simulator) { fired = sm2.Now() })
+	})
+	s.Run()
+	if fired != 125 {
+		t.Fatalf("After fired at %d, want 125", fired)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	ran := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i*100, func(*Simulator) { ran++ })
+	}
+	n := s.RunUntil(500)
+	if n != 5 || ran != 5 {
+		t.Fatalf("ran %d events until 500, want 5", ran)
+	}
+	if s.Now() != 500 {
+		t.Fatalf("now = %v after horizon run, want 500", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	s.RunUntil(Never)
+	if ran != 10 {
+		t.Fatalf("ran %d total, want 10", ran)
+	}
+}
+
+func TestClockAdvancesToHorizonWhenQueueDrains(t *testing.T) {
+	s := New()
+	s.At(10, func(*Simulator) {})
+	s.RunUntil(1000)
+	if s.Now() != 1000 {
+		t.Fatalf("now = %v, want 1000", s.Now())
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	s := New()
+	ran := 0
+	s.At(1, func(sm *Simulator) { ran++; sm.Stop() })
+	s.At(2, func(*Simulator) { ran++ })
+	s.RunUntil(Never)
+	if ran != 1 {
+		t.Fatalf("ran %d, want 1 (Stop should halt)", ran)
+	}
+}
+
+func TestEveryPeriodicTask(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Every(0, Time(1*Microsecond).Sub(0), func(*Simulator) { ticks++ })
+	s.RunUntil(Time(10 * Microsecond))
+	// Fires at 0,1,...,10us inclusive = 11 ticks.
+	if ticks != 11 {
+		t.Fatalf("periodic task ticked %d times, want 11", ticks)
+	}
+}
+
+func TestEveryStopsAtHorizon(t *testing.T) {
+	s := New()
+	ticks := 0
+	s.Every(0, 100, func(*Simulator) { ticks++ })
+	s.RunUntil(350)
+	if ticks != 4 { // 0,100,200,300
+		t.Fatalf("ticks = %d, want 4", ticks)
+	}
+	if s.Pending() > 1 {
+		t.Fatalf("periodic task leaked events: %d pending", s.Pending())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	s := New()
+	depth := 0
+	var recurse Event
+	recurse = func(sm *Simulator) {
+		depth++
+		if depth < 1000 {
+			sm.After(1, recurse)
+		}
+	}
+	s.At(0, recurse)
+	s.Run()
+	if depth != 1000 {
+		t.Fatalf("depth = %d, want 1000", depth)
+	}
+	if s.Now() != 999 {
+		t.Fatalf("now = %v, want 999", s.Now())
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 42; i++ {
+		s.At(Time(i), func(*Simulator) {})
+	}
+	s.Run()
+	if s.Processed() != 42 {
+		t.Fatalf("processed = %d, want 42", s.Processed())
+	}
+}
+
+// Property: for any random schedule, execution order is a stable sort of
+// the schedule by (time, insertion order).
+func TestQuickOrderingProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var fired []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			s.At(at, func(sm *Simulator) { fired = append(fired, rec{sm.Now(), i}) })
+		}
+		s.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for k := 1; k < len(fired); k++ {
+			a, b := fired[k-1], fired[k]
+			if a.at > b.at {
+				return false
+			}
+			if a.at == b.at && a.idx > b.idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At and RunUntil segments never executes an event
+// outside its scheduled time and never loses events.
+func TestQuickHorizonSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		s := New()
+		total, ran := 0, 0
+		horizons := []Time{}
+		h := Time(0)
+		for i := 0; i < 5; i++ {
+			h += Time(rng.Intn(1000) + 1)
+			horizons = append(horizons, h)
+		}
+		deadline := horizons[len(horizons)-1]
+		for i := 0; i < 100; i++ {
+			at := Time(rng.Intn(int(deadline)))
+			total++
+			s.At(at, func(sm *Simulator) {
+				ran++
+				if sm.Now() != at {
+					t.Fatalf("fired at %v, scheduled %v", sm.Now(), at)
+				}
+			})
+		}
+		for _, h := range horizons {
+			s.RunUntil(h)
+			if s.Now() < h {
+				t.Fatalf("now %v < horizon %v", s.Now(), h)
+			}
+		}
+		if ran != total {
+			t.Fatalf("ran %d of %d events", ran, total)
+		}
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	var pump Event
+	n := 0
+	pump = func(sm *Simulator) {
+		n++
+		if n < b.N {
+			sm.After(1, pump)
+		}
+	}
+	b.ResetTimer()
+	s.At(0, pump)
+	s.Run()
+}

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"idio/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(5)
+	if h.Count() != 0 || h.P99() != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(sim.Duration(i))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 500 { // floor of 500.5
+		t.Fatalf("mean %v", h.Mean())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against a uniform distribution the bucketed quantiles must stay
+	// within the resolution bound (1/2^5 ~ 3.1%).
+	h := NewHistogram(5)
+	for i := 1; i <= 100000; i++ {
+		h.Record(sim.Duration(i))
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		want := float64(q) * 100000
+		got := float64(h.Quantile(q))
+		if rel := (got - want) / want; rel > 0.04 || rel < -0.04 {
+			t.Errorf("q%.3f = %.0f, want ~%.0f (rel %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramHeavyTail(t *testing.T) {
+	// 99% fast, 1% slow: p99 must land in the slow mode's vicinity.
+	h := NewHistogram(5)
+	for i := 0; i < 9900; i++ {
+		h.Record(sim.Duration(1000))
+	}
+	for i := 0; i < 100; i++ {
+		h.Record(sim.Duration(1000000))
+	}
+	if p := h.Quantile(0.98); p > 1100 {
+		t.Fatalf("p98 = %v, want ~1000", p)
+	}
+	if p := h.Quantile(0.995); p < 900000 {
+		t.Fatalf("p99.5 = %v, want ~1e6", p)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram(3)
+	h.Record(0)
+	h.Record(sim.Duration(1) << 50)
+	if h.Min() != 0 || h.Max() != sim.Duration(1)<<50 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile extremes must be exact")
+	}
+	// Negative values clamp to zero rather than panicking.
+	h.Record(-5)
+	if h.Count() != 3 {
+		t.Fatal("negative record lost")
+	}
+}
+
+func TestHistogramSubBitsValidation(t *testing.T) {
+	for _, bad := range []uint{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("subBits %d must panic", bad)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+}
+
+// Property: a histogram quantile always lies within one rank of the
+// exact order statistics, up to the bucket resolution (the rank slack
+// absorbs the differing rank conventions; the multiplicative slack is
+// the log-bucket error bound).
+func TestQuickHistogramVsExact(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		h := NewHistogram(5)
+		vals := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := sim.Duration(r%1_000_000 + 1)
+			h.Record(v)
+			vals = append(vals, float64(v))
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		at := func(i int) float64 {
+			if i < 0 {
+				i = 0
+			}
+			if i >= n {
+				i = n - 1
+			}
+			return vals[i]
+		}
+		for _, q := range []float64{0.50, 0.99} {
+			approx := float64(h.Quantile(q))
+			rank := int(q * float64(n))
+			lo := at(rank-1) * 0.93
+			hi := at(rank+1) * 1.01
+			if approx < lo || approx > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: monotonic in q.
+func TestQuickHistogramMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewHistogram(4)
+	for i := 0; i < 10000; i++ {
+		h.Record(sim.Duration(rng.Int63n(1 << 30)))
+	}
+	prev := sim.Duration(-1)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic at %.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram(5)
+	for i := 0; i < b.N; i++ {
+		h.Record(sim.Duration(i * 1337 % 1000000))
+	}
+}

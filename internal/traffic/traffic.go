@@ -1,0 +1,218 @@
+// Package traffic implements the load generators of Sec. VI: steady
+// constant-rate streams and bursty streams defined by burst period,
+// burst rate, and packets-per-burst (the paper sizes each burst to
+// exactly fill the DMA ring). This stands in for DPDK pktgen and the
+// hardware load-generator model used with gem5.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// Receiver consumes generated packets (the NIC implements this).
+type Receiver interface {
+	Receive(s *sim.Simulator, p *pkt.Packet)
+}
+
+// Flow describes the packets of one generated stream.
+type Flow struct {
+	Src, Dst         pkt.IPv4
+	SrcPort, DstPort uint16
+	// DSCP encodes the sender's application class (Sec. V-A).
+	DSCP uint8
+	// FrameLen is the total frame size (1514 unless stated otherwise).
+	FrameLen int
+}
+
+// Tuple returns the flow's 5-tuple as seen by the NIC.
+func (f Flow) Tuple() pkt.FiveTuple {
+	return pkt.FiveTuple{Src: f.Src, Dst: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: pkt.ProtoUDP}
+}
+
+func (f Flow) build(seq uint64) (*pkt.Packet, error) {
+	frame, err := pkt.Build(pkt.Spec{
+		SrcMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x10}, DstMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x20},
+		SrcIP: f.Src, DstIP: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort,
+		DSCP: f.DSCP, FrameLen: f.FrameLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &pkt.Packet{Frame: frame, Seq: seq}, nil
+}
+
+// InterArrival returns the packet spacing for a given rate and frame
+// length (frame bits divided by rate).
+func InterArrival(rateBps int64, frameLen int) sim.Duration {
+	if rateBps <= 0 {
+		panic("traffic: non-positive rate")
+	}
+	return sim.Duration(int64(frameLen) * 8 * int64(sim.Second) / rateBps)
+}
+
+// Steady generates a constant-rate stream of Count packets starting at
+// Start. Count 0 means "until Stop".
+type Steady struct {
+	Flow    Flow
+	RateBps int64
+	Start   sim.Time
+	// Count limits the number of packets; if zero, Stop bounds the
+	// stream instead.
+	Count uint64
+	Stop  sim.Time
+}
+
+// Install schedules the stream's arrivals on the simulator. It returns
+// the number of packets that will be generated when Count is set,
+// otherwise an estimate from the window.
+func (g Steady) Install(s *sim.Simulator, rx Receiver) uint64 {
+	gap := InterArrival(g.RateBps, g.Flow.FrameLen)
+	n := g.Count
+	if n == 0 {
+		if g.Stop <= g.Start {
+			panic("traffic: steady stream needs Count or Stop > Start")
+		}
+		n = uint64(g.Stop.Sub(g.Start)/gap) + 1
+	}
+	var emit func(sm *sim.Simulator, seq uint64)
+	emit = func(sm *sim.Simulator, seq uint64) {
+		p, err := g.Flow.build(seq)
+		if err != nil {
+			panic(fmt.Sprintf("traffic: %v", err))
+		}
+		rx.Receive(sm, p)
+		if seq+1 < n {
+			sm.After(gap, func(sm2 *sim.Simulator) { emit(sm2, seq+1) })
+		}
+	}
+	s.AtNamed(g.Start, "steady-start", func(sm *sim.Simulator) { emit(sm, 0) })
+	return n
+}
+
+// Bursty generates bursts per Sec. VI: every Period, a burst of
+// PacketsPerBurst packets paced at BurstRateBps. The burst length
+// therefore equals (PacketsPerBurst-1) * frame_bits / rate, matching
+// the paper's "receive exactly ring-buffer-size packets per burst"
+// construction.
+type Bursty struct {
+	Flow            Flow
+	BurstRateBps    int64
+	Period          sim.Duration // 10 ms in the paper
+	PacketsPerBurst int
+	Start           sim.Time
+	NumBursts       int
+}
+
+// BurstLength returns the intra-burst duration from first to last
+// packet.
+func (g Bursty) BurstLength() sim.Duration {
+	gap := InterArrival(g.BurstRateBps, g.Flow.FrameLen)
+	return sim.Duration(int64(gap) * int64(g.PacketsPerBurst-1))
+}
+
+// Install schedules all bursts. Returns total packets generated.
+func (g Bursty) Install(s *sim.Simulator, rx Receiver) uint64 {
+	if g.PacketsPerBurst <= 0 || g.NumBursts <= 0 {
+		panic("traffic: bursty stream needs packets and bursts")
+	}
+	if g.Period <= 0 {
+		panic("traffic: bursty stream needs a period")
+	}
+	if g.BurstLength() >= g.Period {
+		panic(fmt.Sprintf("traffic: burst length %v exceeds period %v", g.BurstLength(), g.Period))
+	}
+	gap := InterArrival(g.BurstRateBps, g.Flow.FrameLen)
+	seq := uint64(0)
+	for b := 0; b < g.NumBursts; b++ {
+		burstStart := g.Start.Add(sim.Duration(int64(g.Period) * int64(b)))
+		for i := 0; i < g.PacketsPerBurst; i++ {
+			at := burstStart.Add(sim.Duration(int64(gap) * int64(i)))
+			mySeq := seq
+			seq++
+			s.AtNamed(at, "burst-pkt", func(sm *sim.Simulator) {
+				p, err := g.Flow.build(mySeq)
+				if err != nil {
+					panic(fmt.Sprintf("traffic: %v", err))
+				}
+				rx.Receive(sm, p)
+			})
+		}
+	}
+	return seq
+}
+
+// Poisson generates a memoryless arrival process at the given average
+// rate: exponential inter-arrival times with mean frame_bits/rate.
+// Deterministic for a fixed seed. Poisson arrivals produce the bursty
+// micro-scale queueing that stresses tail latency even at moderate
+// average load.
+type Poisson struct {
+	Flow    Flow
+	RateBps int64
+	Start   sim.Time
+	Count   uint64
+	Seed    int64
+}
+
+// Install schedules the stream's arrivals.
+func (g Poisson) Install(s *sim.Simulator, rx Receiver) uint64 {
+	if g.Count == 0 {
+		panic("traffic: poisson stream needs Count")
+	}
+	mean := float64(InterArrival(g.RateBps, g.Flow.FrameLen))
+	rng := rand.New(rand.NewSource(g.Seed))
+	var emit func(sm *sim.Simulator, seq uint64)
+	emit = func(sm *sim.Simulator, seq uint64) {
+		p, err := g.Flow.build(seq)
+		if err != nil {
+			panic(fmt.Sprintf("traffic: %v", err))
+		}
+		rx.Receive(sm, p)
+		if seq+1 < g.Count {
+			gap := sim.Duration(rng.ExpFloat64() * mean)
+			if gap < 1 {
+				gap = 1
+			}
+			sm.After(gap, func(sm2 *sim.Simulator) { emit(sm2, seq+1) })
+		}
+	}
+	s.AtNamed(g.Start, "poisson-start", func(sm *sim.Simulator) { emit(sm, 0) })
+	return g.Count
+}
+
+// Trace replays an explicit arrival schedule: one packet per entry at
+// the given absolute times, with per-packet frame lengths (zero
+// entries fall back to the flow's FrameLen). This models pcap-style
+// workload replay.
+type Trace struct {
+	Flow     Flow
+	Times    []sim.Time
+	FrameLen []int // optional; parallel to Times
+}
+
+// Install schedules every arrival. Times need not be sorted.
+func (g Trace) Install(s *sim.Simulator, rx Receiver) uint64 {
+	for i, at := range g.Times {
+		flow := g.Flow
+		if i < len(g.FrameLen) && g.FrameLen[i] > 0 {
+			flow.FrameLen = g.FrameLen[i]
+		}
+		seq := uint64(i)
+		f := flow
+		s.AtNamed(at, "trace-pkt", func(sm *sim.Simulator) {
+			p, err := f.build(seq)
+			if err != nil {
+				panic(fmt.Sprintf("traffic: %v", err))
+			}
+			rx.Receive(sm, p)
+		})
+	}
+	return uint64(len(g.Times))
+}
+
+// Gbps converts a gigabit-per-second figure to bits per second.
+func Gbps(g float64) int64 { return int64(g * 1e9) }

@@ -1,0 +1,218 @@
+package idio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"idio/internal/hier"
+	"idio/internal/nic"
+	"idio/internal/sim"
+	"idio/internal/stats"
+)
+
+// CoreResult summarises one core's software stack.
+type CoreResult struct {
+	Processed uint64
+	P50       sim.Duration
+	P99       sim.Duration
+	Mean      sim.Duration
+	BusyTime  sim.Duration
+	// FirstPacketAt / LastDoneAt bracket the core's processing span.
+	FirstPacketAt sim.Time
+	LastDoneAt    sim.Time
+	// Demand is the core's memory-access breakdown by service level.
+	Demand hier.CoreDemand
+}
+
+// Results is the full measurement snapshot of a run.
+type Results struct {
+	Now   sim.Time
+	Hier  hier.Stats
+	NIC   nic.Stats
+	Cores []CoreResult
+
+	DRAMReads     uint64
+	DRAMWrites    uint64
+	DRAMRowHits   uint64
+	DRAMRowMisses uint64
+
+	// ExeTime is the burst processing time: first inbound DMA to the
+	// last packet completion across cores (Fig. 10's Exe Time).
+	ExeTime sim.Duration
+
+	// Timelines (nil when disabled in config): MLC writebacks, LLC
+	// writebacks, MLC invalidations, DMA requests, DRAM reads/writes.
+	MLCWBTL  *stats.Timeline
+	LLCWBTL  *stats.Timeline
+	MLCInvTL *stats.Timeline
+	DMATL    *stats.Timeline
+	DRAMRdTL *stats.Timeline
+	DRAMWrTL *stats.Timeline
+}
+
+// Collect snapshots the current statistics without advancing time.
+func (s *System) Collect() Results {
+	r := Results{
+		Now:           s.Sim.Now(),
+		Hier:          s.Hier.Stats(),
+		NIC:           s.NIC.Stats(),
+		DRAMReads:     s.Hier.DRAM().Reads(),
+		DRAMWrites:    s.Hier.DRAM().Writes(),
+		DRAMRowHits:   s.Hier.DRAM().RowHits(),
+		DRAMRowMisses: s.Hier.DRAM().RowMisses(),
+		MLCWBTL:       s.Hier.MLCWBTL,
+		LLCWBTL:       s.Hier.LLCWBTL,
+		MLCInvTL:      s.Hier.MLCInvTL,
+		DMATL:         s.Hier.DMAReqTL,
+		DRAMRdTL:      s.Hier.DRAM().ReadTL,
+		DRAMWrTL:      s.Hier.DRAM().WriteTL,
+	}
+	var lastDone sim.Time
+	for i, c := range s.Cores {
+		if c == nil {
+			r.Cores = append(r.Cores, CoreResult{Demand: s.Hier.Demand(i)})
+			continue
+		}
+		cr := CoreResult{
+			Processed:     c.Processed,
+			BusyTime:      c.BusyTime,
+			FirstPacketAt: c.FirstPacketAt,
+			LastDoneAt:    c.LastDoneAt,
+			Demand:        s.Hier.Demand(i),
+		}
+		if c.Latencies.Count() > 0 {
+			cr.P50 = c.Latencies.P50()
+			cr.P99 = c.Latencies.P99()
+			cr.Mean = c.Latencies.Mean()
+		}
+		r.Cores = append(r.Cores, cr)
+		if c.LastDoneAt > lastDone {
+			lastDone = c.LastDoneAt
+		}
+	}
+	if first, ok := s.FirstDMAAt(); ok && lastDone > first {
+		r.ExeTime = lastDone.Sub(first)
+	}
+	return r
+}
+
+// TotalProcessed sums processed packets across cores.
+func (r Results) TotalProcessed() uint64 {
+	var n uint64
+	for _, c := range r.Cores {
+		n += c.Processed
+	}
+	return n
+}
+
+// P99Across returns the worst per-core p99 (the paper reports
+// per-application p99; with symmetric NFs the max is representative).
+func (r Results) P99Across() sim.Duration {
+	var worst sim.Duration
+	for _, c := range r.Cores {
+		if c.P99 > worst {
+			worst = c.P99
+		}
+	}
+	return worst
+}
+
+// P50Across returns the worst per-core median latency.
+func (r Results) P50Across() sim.Duration {
+	var worst sim.Duration
+	for _, c := range r.Cores {
+		if c.P50 > worst {
+			worst = c.P50
+		}
+	}
+	return worst
+}
+
+// WriteStats dumps every counter as flat key=value lines (gem5-style
+// stats file), machine-greppable for post-processing.
+func (r Results) WriteStats(w io.Writer) error {
+	kv := []struct {
+		k string
+		v interface{}
+	}{
+		{"sim.now_us", r.Now.Microseconds()},
+		{"nic.rx_packets", r.NIC.RxPackets},
+		{"nic.rx_bytes", r.NIC.RxBytes},
+		{"nic.rx_drops", r.NIC.RxDrops},
+		{"nic.tx_packets", r.NIC.TxPackets},
+		{"nic.dma_writes", r.NIC.DMAWrites},
+		{"nic.dma_reads", r.NIC.DMAReads},
+		{"hier.mlc_writebacks", r.Hier.MLCWriteback},
+		{"hier.mlc_writebacks_dirty", r.Hier.MLCWBDirty},
+		{"hier.mlc_invalidations", r.Hier.MLCInval},
+		{"hier.llc_writebacks", r.Hier.LLCWriteback},
+		{"hier.llc_writebacks_io", r.Hier.LLCWBIO},
+		{"hier.dir_back_invalidations", r.Hier.DirBackInval},
+		{"hier.self_invalidations", r.Hier.SelfInval},
+		{"hier.ddio_updates", r.Hier.DDIOUpdate},
+		{"hier.ddio_allocations", r.Hier.DDIOAlloc},
+		{"hier.ddio_direct_dram", r.Hier.DDIOToDRAM},
+		{"hier.prefetch_fills", r.Hier.PrefetchFill},
+		{"hier.prefetch_drops", r.Hier.PrefetchDrop},
+		{"hier.demand_l1_hits", r.Hier.DemandL1Hit},
+		{"hier.demand_mlc_hits", r.Hier.DemandMLCHit},
+		{"hier.demand_llc_hits", r.Hier.DemandLLCHit},
+		{"hier.demand_dram", r.Hier.DemandDRAM},
+		{"dram.reads", r.DRAMReads},
+		{"dram.writes", r.DRAMWrites},
+		{"dram.row_hits", r.DRAMRowHits},
+		{"dram.row_misses", r.DRAMRowMisses},
+		{"exe_time_us", r.ExeTime.Microseconds()},
+	}
+	for _, e := range kv {
+		if _, err := fmt.Fprintf(w, "%-30s %v\n", e.k, e.v); err != nil {
+			return err
+		}
+	}
+	for i, c := range r.Cores {
+		if c.Processed == 0 && c.Demand.Total() == 0 {
+			continue
+		}
+		entries := []struct {
+			k string
+			v string
+		}{
+			{fmt.Sprintf("core%d.processed", i), fmt.Sprintf("%d", c.Processed)},
+			{fmt.Sprintf("core%d.p50_us", i), fmt.Sprintf("%.3f", c.P50.Microseconds())},
+			{fmt.Sprintf("core%d.p99_us", i), fmt.Sprintf("%.3f", c.P99.Microseconds())},
+			{fmt.Sprintf("core%d.demand_l1", i), fmt.Sprintf("%d", c.Demand.L1Hit)},
+			{fmt.Sprintf("core%d.demand_mlc", i), fmt.Sprintf("%d", c.Demand.MLCHit)},
+			{fmt.Sprintf("core%d.demand_llc", i), fmt.Sprintf("%d", c.Demand.LLCHit)},
+			{fmt.Sprintf("core%d.demand_dram", i), fmt.Sprintf("%d", c.Demand.DRAM)},
+			{fmt.Sprintf("core%d.onchip_hit_rate", i), fmt.Sprintf("%.4f", c.Demand.HitRateOnChip())},
+		}
+		for _, e := range entries {
+			if _, err := fmt.Fprintf(w, "%-30s %s\n", e.k, e.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a human-readable summary.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v processed=%d drops=%d\n", r.Now, r.TotalProcessed(), r.NIC.RxDrops)
+	fmt.Fprintf(&b, "  MLC WB=%d (dirty %d) inval=%d | LLC WB=%d (IO %d) | selfInval=%d\n",
+		r.Hier.MLCWriteback, r.Hier.MLCWBDirty, r.Hier.MLCInval,
+		r.Hier.LLCWriteback, r.Hier.LLCWBIO, r.Hier.SelfInval)
+	fmt.Fprintf(&b, "  DRAM rd=%d wr=%d | DDIO alloc=%d update=%d direct=%d | prefetch fill=%d drop=%d\n",
+		r.DRAMReads, r.DRAMWrites, r.Hier.DDIOAlloc, r.Hier.DDIOUpdate, r.Hier.DDIOToDRAM,
+		r.Hier.PrefetchFill, r.Hier.PrefetchDrop)
+	fmt.Fprintf(&b, "  exeTime=%.1fus\n", r.ExeTime.Microseconds())
+	for i, c := range r.Cores {
+		if c.Processed == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  core%d: n=%d p50=%.2fus p99=%.2fus mean=%.2fus\n",
+			i, c.Processed, c.P50.Microseconds(), c.P99.Microseconds(), c.Mean.Microseconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package idio
+
+import (
+	"fmt"
+
+	idiocore "idio/internal/core"
+	"idio/internal/cpu"
+	"idio/internal/hier"
+	"idio/internal/mem"
+	"idio/internal/nic"
+	"idio/internal/pcie"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+	"idio/internal/stats"
+	"idio/internal/traffic"
+)
+
+// rootComplex is the host side of the PCIe link: it decodes each DMA
+// transaction's IDIO metadata, consults the controller's data plane,
+// and drives the hierarchy (and prefetchers) accordingly. It
+// implements nic.Sink.
+type rootComplex struct {
+	sys *System
+
+	// firstDMAAt records the first inbound DMA after the last call to
+	// ResetMeasurement — the start of the DMA phase for exe-time
+	// accounting (Fig. 10).
+	firstDMAAt sim.Time
+	sawDMA     bool
+}
+
+// DMAWrite implements nic.Sink.
+func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
+	if rc.sys.IOMMU != nil && !rc.sys.IOMMU.CheckWrite(tlp.LineAddr) {
+		return 0 // faulted: dropped before touching memory
+	}
+	if !rc.sawDMA {
+		rc.sawDMA = true
+		rc.firstDMAAt = now
+	}
+	meta := tlp.Meta()
+	switch rc.sys.Controller.Steer(meta) {
+	case idiocore.SteerDRAM:
+		return rc.sys.Hier.DirectDRAMWrite(now, mem.LineAddr(tlp.LineAddr))
+	case idiocore.SteerMLC:
+		lat := rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+		rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
+		return lat
+	default:
+		return rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+	}
+}
+
+// DMARead implements nic.Sink (TX egress path).
+func (rc *rootComplex) DMARead(now sim.Time, line uint64) sim.Duration {
+	if rc.sys.IOMMU != nil && !rc.sys.IOMMU.CheckRead(line) {
+		return 0
+	}
+	return rc.sys.Hier.PCIeRead(now, mem.LineAddr(line))
+}
+
+// prefetchAdapter bridges the controller-side prefetcher to the
+// hierarchy's typed API. It also exposes MLC load so the adaptive
+// prefetcher variant can regulate itself.
+type prefetchAdapter struct{ h *hier.Hierarchy }
+
+func (a prefetchAdapter) PrefetchToMLC(now sim.Time, coreID int, line uint64) bool {
+	return a.h.PrefetchToMLC(now, coreID, mem.LineAddr(line))
+}
+
+func (a prefetchAdapter) MLCLoadFraction(coreID int) float64 {
+	return a.h.MLCLoadFraction(coreID)
+}
+
+// System is a fully wired simulated server: hierarchy, NIC, IDIO
+// components, and per-core software stacks.
+type System struct {
+	Cfg Config
+
+	Sim  *sim.Simulator
+	Hier *hier.Hierarchy
+	// NIC is port 0 — the only port on single-port systems. Multi-port
+	// systems address other ports via Port(i)/Ports().
+	NIC         *nic.NIC
+	ports       []*nic.NIC
+	FlowDir     *nic.FlowDirector
+	Classifier  *idiocore.Classifier
+	Controller  *idiocore.Controller
+	Prefetchers []*idiocore.Prefetcher
+	Cores       []*cpu.Core
+	// WayTuner is non-nil when the dynamic DDIO-way baseline is
+	// configured.
+	WayTuner *idiocore.WayTuner
+	// IOMMU is non-nil when DMA address validation is enabled.
+	IOMMU *pcie.IOMMU
+
+	// Occupancy gauges, populated when Config.OccupancySampling > 0.
+	LLCOcc   *stats.LevelSeries
+	LLCIOOcc *stats.LevelSeries
+	MLCOcc   []*stats.LevelSeries
+
+	rc      *rootComplex
+	layout  *mem.Layout
+	started bool
+}
+
+// NewSystem wires a system from the configuration.
+func NewSystem(cfg Config) *System {
+	s := &System{Cfg: cfg, Sim: sim.New()}
+	s.Hier = hier.New(cfg.Hier)
+	s.Classifier = idiocore.NewClassifier(cfg.Classifier)
+	s.FlowDir = nic.NewFlowDirector(cfg.Hier.NumCores)
+	s.Controller = idiocore.NewController(cfg.Controller, cfg.Policy, s.Hier.MLCWritebacks)
+	for i := 0; i < cfg.Hier.NumCores; i++ {
+		s.Prefetchers = append(s.Prefetchers,
+			idiocore.NewPrefetcher(cfg.Prefetcher, i, prefetchAdapter{s.Hier}))
+	}
+	if cfg.DynamicDDIOWays != nil {
+		s.WayTuner = idiocore.NewWayTuner(*cfg.DynamicDDIOWays, s.Hier.LLCWBIOCount, s.Hier.SetDDIOWays)
+	}
+	s.rc = &rootComplex{sys: s}
+	s.layout = mem.NewLayout(1 << 30) // DMA regions above 1 GB
+	nPorts := cfg.NumPorts
+	if nPorts <= 0 {
+		nPorts = 1
+	}
+	for p := 0; p < nPorts; p++ {
+		s.ports = append(s.ports, nic.New(cfg.NIC, s.layout, s.rc, s.Classifier, s.FlowDir))
+	}
+	s.NIC = s.ports[0]
+	s.Cores = make([]*cpu.Core, cfg.Hier.NumCores)
+	if cfg.EnforceInvalidatable {
+		s.Hier.EnforceInvalidatable(true)
+	}
+	if cfg.EnableIOMMU {
+		s.IOMMU = pcie.NewIOMMU()
+	}
+	// Mark all ring buffers and descriptors Invalidatable (the kernel
+	// allocated them for the NF, Sec. V-D) and map them through the
+	// IOMMU when enabled.
+	for _, port := range s.ports {
+		for q := 0; q < cfg.NIC.NumQueues; q++ {
+			for _, slot := range port.Ring(q).Slots() {
+				s.Hier.RegisterInvalidatable(slot.Buf)
+				s.Hier.RegisterInvalidatable(slot.Desc)
+				if s.IOMMU != nil {
+					s.IOMMU.Map(slot.Buf)
+					s.IOMMU.Map(slot.Desc)
+				}
+			}
+			if s.IOMMU != nil {
+				for _, tx := range port.TXRing(q).Slots() {
+					s.IOMMU.Map(tx.Desc)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Ports returns every NIC port.
+func (s *System) Ports() []*nic.NIC { return s.ports }
+
+// Port returns port i.
+func (s *System) Port(i int) *nic.NIC { return s.ports[i] }
+
+// DefaultFlow returns a distinct UDP flow for each core, pre-routed to
+// it via an externally-programmed Flow Director rule when installed
+// through AddNF.
+func (s *System) DefaultFlow(coreID int) traffic.Flow {
+	return traffic.Flow{
+		Src: pkt.IPv4{10, 0, 1, byte(coreID + 1)}, Dst: pkt.IPv4{10, 0, 0, 1},
+		SrcPort: uint16(5000 + coreID), DstPort: uint16(9000 + coreID),
+		FrameLen: pkt.MTUFrameLen,
+	}
+}
+
+// AddNF binds a network-function app to a core and pins its flow to
+// that core with an EP Flow Director rule. The core's software stack
+// self-invalidates buffers when the active policy says so.
+func (s *System) AddNF(coreID int, app cpu.App, flow traffic.Flow) *cpu.Core {
+	if s.Cores[coreID] != nil {
+		panic(fmt.Sprintf("idio: core %d already has an app", coreID))
+	}
+	s.FlowDir.AddEPRule(flow.Tuple(), coreID)
+	coreCfg := s.Cfg.CPU
+	coreCfg.SelfInvalidate = s.Cfg.Policy.SelfInvalidate
+	c := cpu.NewCore(coreID, coreCfg, s.Cfg.Hier.Clock, s.Hier, s.Ports(), app)
+	s.Cores[coreID] = c
+	return c
+}
+
+// AllocRegion carves an application-owned memory region (e.g. for
+// CopyNF destinations or the LLC antagonist buffer).
+func (s *System) AllocRegion(bytes uint64) mem.Region {
+	return s.layout.Alloc(bytes, mem.LineBytes)
+}
+
+// NewMbufPool carves a packet-buffer pool for re-allocate-mode (M2)
+// rings out of the system's address space. Buffers are DMA-mapped
+// through the IOMMU (they are RX targets) and registered as
+// Invalidatable (the software stack may self-invalidate them).
+func (s *System) NewMbufPool(n int) *nic.MbufPool {
+	p := nic.NewMbufPool(n, s.layout)
+	for _, b := range p.Buffers() {
+		if s.IOMMU != nil {
+			s.IOMMU.Map(b)
+		}
+		s.Hier.RegisterInvalidatable(b)
+	}
+	return p
+}
+
+// Start launches every installed core's polling loop and the IDIO
+// controller's control plane. Calling it more than once is a no-op.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, c := range s.Cores {
+		if c != nil {
+			c.Start(s.Sim)
+		}
+	}
+	s.Controller.Start(s.Sim)
+	if s.WayTuner != nil {
+		s.WayTuner.Start(s.Sim)
+	}
+	if p := s.Cfg.OccupancySampling; p > 0 {
+		s.LLCOcc = stats.NewLevelSeries()
+		s.LLCIOOcc = stats.NewLevelSeries()
+		s.MLCOcc = make([]*stats.LevelSeries, s.Cfg.Hier.NumCores)
+		for i := range s.MLCOcc {
+			s.MLCOcc[i] = stats.NewLevelSeries()
+		}
+		s.Sim.Every(0, p, func(sm *sim.Simulator) {
+			s.LLCOcc.Record(sm.Now(), float64(s.Hier.LLCOccupancy()))
+			s.LLCIOOcc.Record(sm.Now(), float64(s.Hier.LLCOccupancyIO()))
+			for i := range s.MLCOcc {
+				s.MLCOcc[i].Record(sm.Now(), float64(s.Hier.MLCOccupancy(i)))
+			}
+		})
+	}
+}
+
+// Run starts the system (if not already started) and executes until
+// the horizon, returning collected results.
+func (s *System) Run(horizon sim.Duration) Results {
+	s.Start()
+	s.Sim.RunUntil(sim.Time(horizon))
+	return s.Collect()
+}
+
+// RunUntilIdle executes until the event queue drains of packet work,
+// bounded by the horizon. Useful for "process one burst to completion"
+// experiments.
+func (s *System) RunUntilIdle(horizon sim.Duration) Results {
+	s.Start()
+	// The polling loops never terminate, so run in slices and stop
+	// when no core has pending ring work.
+	step := 100 * sim.Microsecond
+	for t := sim.Duration(0); t < horizon; t += step {
+		s.Sim.RunUntil(sim.Time(t + step))
+		if s.idle() {
+			break
+		}
+	}
+	return s.Collect()
+}
+
+func (s *System) idle() bool {
+	for _, port := range s.ports {
+		for q := 0; q < s.Cfg.NIC.NumQueues; q++ {
+			if port.Ring(q).Occupancy() != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FirstDMAAt returns when the first inbound DMA landed (DMA-phase
+// start), valid once traffic has flowed.
+func (s *System) FirstDMAAt() (sim.Time, bool) { return s.rc.firstDMAAt, s.rc.sawDMA }
