@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race figures
+
+# check is the full pre-merge gate: vet, build, tests, and the race
+# detector over the internal packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# figures regenerates every experiment table (reduced-size, CI-friendly).
+figures:
+	$(GO) run ./cmd/idiosim -exp all -quick

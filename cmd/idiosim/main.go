@@ -10,7 +10,7 @@
 //	idiosim -scenario s.json -stats s.txt # custom JSON scenario + stats dump
 //
 // Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
-// ablations verify all.
+// ablations degradation verify all.
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|verify|all")
+	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|verify|all")
 	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
 	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a named experiment")
@@ -59,7 +59,7 @@ func main() {
 		return
 	}
 
-	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations"}
+	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation"}
 	targets := []string{*exp}
 	if *exp == "all" {
 		targets = all
@@ -212,6 +212,17 @@ func (r *runner) run(name string) error {
 		return experiment.WriteTable(os.Stdout,
 			"Latency breakdown (us): notification / queueing / service",
 			experiment.BreakdownHeader(), experiment.Rows(rows))
+
+	case "degradation":
+		opts := experiment.DefaultDegradationOpts()
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+		}
+		rows := experiment.Degradation(opts)
+		return experiment.WriteTable(os.Stdout,
+			"Degradation: DDIO vs IDIO under swept fault rates (drops / p99 / WB inflation)",
+			experiment.DegradationHeader(), experiment.Rows(rows))
 
 	case "verify":
 		if failed := experiment.Verify(os.Stdout); failed > 0 {

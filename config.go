@@ -20,6 +20,7 @@ package idio
 import (
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	"idio/internal/fault"
 	"idio/internal/hier"
 	"idio/internal/nic"
 	"idio/internal/sim"
@@ -57,6 +58,18 @@ type Config struct {
 	// occupancy (and per-core MLC occupancy) at this period — the
 	// direct visualization of DMA bloating.
 	OccupancySampling sim.Duration
+	// Faults, when non-nil and enabled, wires the deterministic
+	// fault-injection layer (internal/fault) through the PCIe path and
+	// attaches its periodic injectors to the NIC ports, DRAM,
+	// hierarchy, and cores. Same seed + same config = bit-identical
+	// runs, faults included.
+	Faults *fault.Config
+	// Watchdog, when non-nil, arms the simulator's no-progress /
+	// event-storm detector with these thresholds (nil leaves the
+	// watchdog disabled, matching historical behaviour). A tripped
+	// watchdog stops the run and surfaces a *sim.WatchdogError via
+	// System.Err and Results.Aborted.
+	Watchdog *sim.WatchdogConfig
 }
 
 // DefaultConfig builds the Table I system for the given core count:

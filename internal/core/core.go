@@ -269,6 +269,10 @@ type Controller struct {
 	SteerMLCCount  uint64
 	SteerDRAMCount uint64
 	BurstResets    uint64
+	// MisSteers counts transactions whose metadata decoded to an
+	// out-of-range destination core (corrupted TLP bits); they fall
+	// back to the default DDIO placement.
+	MisSteers uint64
 }
 
 // NewController builds a controller for the given policy.
@@ -316,7 +320,17 @@ func (c *Controller) MLCWBAvg(core int) uint64 { return c.mlcWBAvg[core] }
 
 // Steer implements the data plane of Alg. 1 for one DMA write
 // transaction and returns the placement decision.
+//
+// Metadata arriving over the wire can be corrupted (the reserved TLP
+// bits carry no ECC), so an out-of-range destCore is treated as a
+// mis-steer: the transaction falls back to the safe DDIO placement
+// and is counted rather than indexing out of the per-core state.
 func (c *Controller) Steer(m pcie.Meta) Steering {
+	if m.AppClass == 0 && (m.DestCore < 0 || m.DestCore >= c.cfg.NumCores) {
+		c.MisSteers++
+		c.SteerLLCCount++
+		return SteerLLC
+	}
 	// Line 3: a burst notification resets the FSM to state 0.
 	if m.IsBurst && m.AppClass == 0 && c.policy.MLCPrefetch && !c.policy.StaticStatus {
 		if c.fsmState[m.DestCore] != fsmMin {

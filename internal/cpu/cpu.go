@@ -270,9 +270,15 @@ type Core struct {
 	// Trace holds per-packet stage records when tracing is enabled.
 	Trace []TraceRecord
 
-	started  bool
-	irqArmed bool
-	rrNext   int // round-robin port cursor
+	// StallsTaken counts injected stalls the polling loop honoured;
+	// StallTime accumulates the injected delay actually served.
+	StallsTaken uint64
+	StallTime   sim.Duration
+
+	started    bool
+	irqArmed   bool
+	rrNext     int      // round-robin port cursor
+	stallUntil sim.Time // injected slow-core stall: no polling before this
 }
 
 // NewCore builds a core bound to its per-port rings and an app.
@@ -344,10 +350,32 @@ func (c *Core) interrupt(s *sim.Simulator) {
 	s.After(c.cfg.IRQLatency, c.poll)
 }
 
+// InjectStall freezes the core's driver loop until now+d — the fault
+// model of a slow core (SMI, thermal throttle, noisy-neighbour
+// preemption) starving its polling loop while the NIC keeps filling
+// the ring. Extending an active stall is allowed; shortening is not.
+func (c *Core) InjectStall(now sim.Time, d sim.Duration) {
+	until := now.Add(d)
+	if until > c.stallUntil {
+		c.stallUntil = until
+	}
+}
+
+// Stalled reports whether the core is inside an injected stall at now.
+func (c *Core) Stalled(now sim.Time) bool { return now < c.stallUntil }
+
 // poll implements the driver loop: gather a burst of visible
 // descriptors and process it. When idle, a polling driver re-polls
 // after PollInterval; an interrupt driver re-arms and sleeps.
 func (c *Core) poll(s *sim.Simulator) {
+	if s.Now() < c.stallUntil {
+		// Injected slow-core stall: defer the whole loop (including
+		// interrupt-mode wakeups) until the stall expires.
+		c.StallsTaken++
+		c.StallTime += c.stallUntil.Sub(s.Now())
+		s.At(c.stallUntil, c.poll)
+		return
+	}
 	var batch []*nic.Slot
 	// Service the ports round-robin, rotating the starting port each
 	// poll so no port starves another.

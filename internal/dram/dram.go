@@ -72,6 +72,11 @@ type DRAM struct {
 	// openRow[b] is bank b's open row (-1 when none).
 	openRow []int64
 
+	// extraLat is a transient injected per-access penalty (fault
+	// injection); penalized counts accesses that paid it.
+	extraLat  sim.Duration
+	penalized stats.Counter
+
 	reads     stats.Counter
 	writes    stats.Counter
 	rowHits   stats.Counter
@@ -112,6 +117,19 @@ func (d *DRAM) lineTransferTime() sim.Duration {
 	return sim.Duration(64 * int64(sim.Second) / d.cfg.BytesPerSecond)
 }
 
+// SetExtraLatency adds a transient per-access latency penalty — the
+// fault injector's model of thermal throttling, refresh storms, or a
+// contended memory channel. Zero clears the penalty. PenalizedAccesses
+// counts accesses served while a penalty was active.
+func (d *DRAM) SetExtraLatency(extra sim.Duration) { d.extraLat = extra }
+
+// ExtraLatency returns the currently active penalty.
+func (d *DRAM) ExtraLatency() sim.Duration { return d.extraLat }
+
+// PenalizedAccesses returns how many accesses paid an injected
+// latency penalty.
+func (d *DRAM) PenalizedAccesses() uint64 { return d.penalized.Value() }
+
 // access reserves the bus and returns the completion latency as seen
 // by the requester at time now for the cacheline at lineAddr.
 func (d *DRAM) access(now sim.Time, lineAddr uint64) sim.Duration {
@@ -127,6 +145,10 @@ func (d *DRAM) access(now sim.Time, lineAddr uint64) sim.Duration {
 			lat = d.cfg.RowMissLatency
 			d.openRow[bank] = row
 		}
+	}
+	if d.extraLat > 0 {
+		lat += d.extraLat
+		d.penalized.Inc()
 	}
 	start := now
 	if d.busFree > start {

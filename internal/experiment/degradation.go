@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+
+	idiocore "idio/internal/core"
+	"idio/internal/fault"
+	"idio/internal/sim"
+)
+
+// DegradationRow is one cell of the fault-rate sweep: a policy run
+// under a given per-TLP fault probability, with its drop, tail-latency
+// and writeback statistics plus the same-policy fault-free baseline's
+// writeback count for inflation reporting.
+type DegradationRow struct {
+	Policy idiocore.Policy
+	// Rate is the per-TLP probability of both corruption (metadata
+	// bit flip) and poisoning (discarded write).
+	Rate float64
+
+	Processed uint64
+	// Drops aggregates every loss class: ring overflow, pool
+	// exhaustion, link-down windows and mis-steered packets.
+	Drops uint64
+	P99US float64
+	// MLCWB is the fault run's MLC writeback count; WBInflation is
+	// MLCWB normalized to the same policy's zero-fault run (how much
+	// extra data movement the faults provoked).
+	MLCWB       uint64
+	WBInflation float64
+	// FaultsInjected totals the injector's perturbations; MisSteers is
+	// how many corrupted TLPs decoded to a non-existent core and were
+	// degraded to the LLC-default steering.
+	FaultsInjected uint64
+	MisSteers      uint64
+	// Aborted records a watchdog trip (graceful structured abort
+	// instead of a hang); healthy sweeps report false everywhere.
+	Aborted bool
+}
+
+// DegradationOpts parameterises the sweep.
+type DegradationOpts struct {
+	RingSize int
+	RateGbps float64
+	// Rates are the per-TLP fault probabilities to sweep (0 is always
+	// run first per policy as the normalization baseline).
+	Rates []float64
+	// Seed drives the fault layer's randomness; a fixed seed makes the
+	// whole sweep reproducible.
+	Seed    int64
+	Horizon sim.Duration
+	// MLCSize/LLCSize scale the caches for reduced-size runs.
+	MLCSize int
+	LLCSize int
+}
+
+// DefaultDegradationOpts sweeps three fault rates spanning "noisy
+// link" (0.1%) to "failing link" (5%) at the Fig. 9 burst rate.
+func DefaultDegradationOpts() DegradationOpts {
+	return DegradationOpts{
+		RingSize: 1024,
+		RateGbps: 100,
+		Rates:    []float64{0.001, 0.01, 0.05},
+		Seed:     42,
+		Horizon:  9 * sim.Millisecond,
+	}
+}
+
+// faultConfigFor builds the injected-adversity profile for one sweep
+// point: per-TLP corruption and poisoning at the swept rate, plus a
+// fixed background of environmental faults (DRAM latency spikes and
+// slow-core stalls) so the sweep also exercises the memory- and
+// CPU-level injectors.
+func faultConfigFor(rate float64, seed int64) *fault.Config {
+	if rate <= 0 {
+		return nil
+	}
+	return &fault.Config{
+		Seed: seed,
+		PCIe: &fault.PCIeConfig{CorruptProb: rate, PoisonProb: rate},
+		DRAMSpike: &fault.DRAMSpikeConfig{
+			Period: 500 * sim.Microsecond,
+			Extra:  200 * sim.Nanosecond,
+			Length: 50 * sim.Microsecond,
+		},
+		CoreStall: &fault.CoreStallConfig{
+			Period: 1 * sim.Millisecond,
+			Stall:  20 * sim.Microsecond,
+			Core:   -1,
+		},
+	}
+}
+
+// Degradation runs the sweep: for DDIO and IDIO, a fault-free
+// baseline followed by each fault rate, reporting per-rate drops, p99
+// latency and writeback inflation. Every run arms the watchdog so a
+// fault-induced livelock surfaces as a structured abort, not a hang.
+func Degradation(opts DegradationOpts) []DegradationRow {
+	var rows []DegradationRow
+	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+		var baseWB uint64
+		for _, rate := range append([]float64{0}, opts.Rates...) {
+			sp := DefaultSpec(pol)
+			sp.RingSize = opts.RingSize
+			sp.MLCSize = opts.MLCSize
+			sp.LLCSize = opts.LLCSize
+			sp.Faults = faultConfigFor(rate, opts.Seed)
+			wd := sim.DefaultWatchdogConfig()
+			sp.Watchdog = &wd
+
+			b := Build(sp)
+			b.InstallBurst(opts.RateGbps, sp.RingSize, 1)
+			res := b.RunBurstToCompletion(opts.Horizon)
+
+			if rate == 0 {
+				baseWB = res.Hier.MLCWriteback
+			}
+			rows = append(rows, DegradationRow{
+				Policy:         pol,
+				Rate:           rate,
+				Processed:      res.TotalProcessed(),
+				Drops:          res.NIC.RxDrops + res.NIC.PoolDrops + res.NIC.LinkDownDrops + res.NIC.MisSteers,
+				P99US:          res.P99Across().Microseconds(),
+				MLCWB:          res.Hier.MLCWriteback,
+				WBInflation:    ratio(float64(res.Hier.MLCWriteback), float64(baseWB)),
+				FaultsInjected: res.Faults.Total(),
+				MisSteers:      res.CtrlMisSteers,
+				Aborted:        res.Aborted != nil,
+			})
+		}
+	}
+	return rows
+}
+
+// DegradationHeader describes the table columns.
+func DegradationHeader() []string {
+	return []string{"policy", "faultRate", "processed", "drops", "p99us", "mlcWB", "wbInfl", "injected", "missteer", "aborted"}
+}
+
+// Row renders one sweep cell.
+func (r DegradationRow) Row() []string {
+	return []string{
+		r.Policy.Name(),
+		fmt.Sprintf("%.3f", r.Rate),
+		fmt.Sprintf("%d", r.Processed),
+		fmt.Sprintf("%d", r.Drops),
+		fmt.Sprintf("%.1f", r.P99US),
+		fmt.Sprintf("%d", r.MLCWB),
+		fmt.Sprintf("%.2f", r.WBInflation),
+		fmt.Sprintf("%d", r.FaultsInjected),
+		fmt.Sprintf("%d", r.MisSteers),
+		fmt.Sprintf("%t", r.Aborted),
+	}
+}

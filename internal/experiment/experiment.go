@@ -15,6 +15,7 @@ import (
 	"idio/internal/cache"
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	"idio/internal/fault"
 	"idio/internal/sim"
 	"idio/internal/stats"
 	"idio/internal/traffic"
@@ -105,6 +106,12 @@ type Spec struct {
 	// RetainLLCOnHit selects NINE inclusion semantics for the LLC
 	// (see hier.Config.RetainLLCOnHit).
 	RetainLLCOnHit bool
+
+	// Faults enables the deterministic fault-injection layer for
+	// degradation experiments (nil = fault-free).
+	Faults *fault.Config
+	// Watchdog arms the simulator's no-progress/event-storm detector.
+	Watchdog *sim.WatchdogConfig
 }
 
 // DefaultSpec is the common Sec. VI gem5 scenario: two TouchDrop NFs,
@@ -181,6 +188,8 @@ func Build(spec Spec) *Built {
 	}
 	cfg.CPU.TraceCapacity = spec.TraceCapacity
 	cfg.Hier.RetainLLCOnHit = spec.RetainLLCOnHit
+	cfg.Faults = spec.Faults
+	cfg.Watchdog = spec.Watchdog
 	sys := idio.NewSystem(cfg)
 
 	b := &Built{Sys: sys}

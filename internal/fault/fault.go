@@ -1,0 +1,444 @@
+// Package fault is the deterministic fault-injection layer: seedable
+// injectors that perturb every level of the simulated system — PCIe
+// (corrupted metadata bits, poisoned write TLPs), NIC (link flaps,
+// paced-DMA stalls, mbuf-pool exhaustion), memory (transient DRAM
+// latency spikes, snoop-filter pressure), and CPU (slow-core stalls
+// that starve polling loops).
+//
+// Two properties make the layer a measurement instrument rather than
+// a chaos monkey:
+//
+//  1. Determinism. Every random decision is drawn from one seeded
+//     generator, and every perturbation is delivered through the
+//     sim.Simulator event queue, whose same-instant FIFO ordering is
+//     reproducible. Two runs with the same seed and configuration are
+//     bit-identical (determinism_test.go asserts this).
+//  2. Accounting. Each injector counts what it perturbed
+//     (internal/stats counters, snapshotted by Stats), so degradation
+//     experiments can correlate injected adversity with observed
+//     drops, latency, and writeback inflation.
+//
+// Wiring: idio.Config.Faults enables the layer; idio.NewSystem builds
+// the Injector, interposes it on the NIC→root-complex PCIe path
+// (WrapSink), attaches ports/DRAM/hierarchy/cores/pools, and starts
+// the periodic injectors alongside the cores.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"idio/internal/cpu"
+	"idio/internal/dram"
+	"idio/internal/hier"
+	"idio/internal/mem"
+	"idio/internal/nic"
+	"idio/internal/pcie"
+	"idio/internal/sim"
+	"idio/internal/stats"
+)
+
+// PCIeConfig perturbs individual inbound write TLPs. Probabilities
+// are per transaction (one cacheline each), drawn in arrival order.
+type PCIeConfig struct {
+	// CorruptProb is the probability a TLP's IDIO metadata suffers a
+	// single-bit flip in the reserved DW0 bits — exercising the
+	// classifier consumer's mis-steer handling (wrong destination
+	// core, spurious isHeader/isBurst, flipped app class).
+	CorruptProb float64
+	// PoisonProb is the probability a write TLP arrives poisoned (EP
+	// bit set); the root complex discards it, so the line never lands
+	// in memory and the packet is delivered torn.
+	PoisonProb float64
+}
+
+// LinkFlapConfig schedules NIC link flaps: roughly every Period the
+// link of one attached port drops for Down. Packets arriving while
+// down are lost at the MAC.
+type LinkFlapConfig struct {
+	Period sim.Duration
+	Down   sim.Duration
+}
+
+// DMAStallConfig schedules paced-DMA stalls: roughly every Period one
+// attached port's DMA engine is held for Stall (credit exhaustion,
+// link retraining), backing descriptor work up into the ring.
+type DMAStallConfig struct {
+	Period sim.Duration
+	Stall  sim.Duration
+}
+
+// MbufLeakConfig schedules transient mbuf-pool exhaustion: roughly
+// every Period, up to Count buffers are taken from one attached pool
+// and returned after Hold — a leaky application or a slow deferred
+// consumer. While held, rings backed by the pool take PoolDrops.
+type MbufLeakConfig struct {
+	Period sim.Duration
+	Count  int
+	Hold   sim.Duration
+}
+
+// DRAMSpikeConfig schedules transient memory-latency spikes: roughly
+// every Period, each access pays Extra additional latency for Length
+// (refresh storms, thermal throttling, channel contention).
+type DRAMSpikeConfig struct {
+	Period sim.Duration
+	Extra  sim.Duration
+	Length sim.Duration
+}
+
+// SnoopThrashConfig schedules snoop-filter pressure: roughly every
+// Period, Lines synthetic directory entries are force-inserted,
+// back-invalidating victims' MLC-resident lines as a coherent
+// co-runner would.
+type SnoopThrashConfig struct {
+	Period sim.Duration
+	Lines  int
+}
+
+// CoreStallConfig schedules slow-core stalls: roughly every Period
+// one core's driver loop freezes for Stall while the NIC keeps
+// producing into its ring. Core pins the victim; -1 rotates over all
+// attached cores pseudo-randomly.
+type CoreStallConfig struct {
+	Period sim.Duration
+	Stall  sim.Duration
+	Core   int
+}
+
+// Config aggregates every injector. Nil sub-configs are disabled; the
+// zero value injects nothing.
+type Config struct {
+	// Seed drives every random decision. Two runs with equal Config
+	// (and an otherwise deterministic system) are bit-identical.
+	Seed int64
+
+	PCIe        *PCIeConfig
+	LinkFlap    *LinkFlapConfig
+	DMAStall    *DMAStallConfig
+	MbufLeak    *MbufLeakConfig
+	DRAMSpike   *DRAMSpikeConfig
+	SnoopThrash *SnoopThrashConfig
+	CoreStall   *CoreStallConfig
+}
+
+// Enabled reports whether any injector is configured.
+func (c *Config) Enabled() bool {
+	return c != nil && (c.PCIe != nil || c.LinkFlap != nil || c.DMAStall != nil ||
+		c.MbufLeak != nil || c.DRAMSpike != nil || c.SnoopThrash != nil || c.CoreStall != nil)
+}
+
+// Validate checks every enabled injector's parameters, returning one
+// error per problem (joined).
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	var errs []error
+	bad := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("fault: "+format, args...))
+	}
+	if p := c.PCIe; p != nil {
+		if p.CorruptProb < 0 || p.CorruptProb > 1 {
+			bad("PCIe.CorruptProb %v outside [0,1]", p.CorruptProb)
+		}
+		if p.PoisonProb < 0 || p.PoisonProb > 1 {
+			bad("PCIe.PoisonProb %v outside [0,1]", p.PoisonProb)
+		}
+	}
+	if f := c.LinkFlap; f != nil {
+		if f.Period <= 0 {
+			bad("LinkFlap.Period %v must be positive", f.Period)
+		}
+		if f.Down <= 0 {
+			bad("LinkFlap.Down %v must be positive", f.Down)
+		}
+	}
+	if d := c.DMAStall; d != nil {
+		if d.Period <= 0 {
+			bad("DMAStall.Period %v must be positive", d.Period)
+		}
+		if d.Stall <= 0 {
+			bad("DMAStall.Stall %v must be positive", d.Stall)
+		}
+	}
+	if m := c.MbufLeak; m != nil {
+		if m.Period <= 0 {
+			bad("MbufLeak.Period %v must be positive", m.Period)
+		}
+		if m.Count <= 0 {
+			bad("MbufLeak.Count %d must be positive", m.Count)
+		}
+		if m.Hold <= 0 {
+			bad("MbufLeak.Hold %v must be positive", m.Hold)
+		}
+	}
+	if d := c.DRAMSpike; d != nil {
+		if d.Period <= 0 {
+			bad("DRAMSpike.Period %v must be positive", d.Period)
+		}
+		if d.Extra <= 0 {
+			bad("DRAMSpike.Extra %v must be positive", d.Extra)
+		}
+		if d.Length <= 0 {
+			bad("DRAMSpike.Length %v must be positive", d.Length)
+		}
+	}
+	if s := c.SnoopThrash; s != nil {
+		if s.Period <= 0 {
+			bad("SnoopThrash.Period %v must be positive", s.Period)
+		}
+		if s.Lines <= 0 {
+			bad("SnoopThrash.Lines %d must be positive", s.Lines)
+		}
+	}
+	if cs := c.CoreStall; cs != nil {
+		if cs.Period <= 0 {
+			bad("CoreStall.Period %v must be positive", cs.Period)
+		}
+		if cs.Stall <= 0 {
+			bad("CoreStall.Stall %v must be positive", cs.Stall)
+		}
+		if cs.Core < -1 {
+			bad("CoreStall.Core %d must be -1 (rotate) or a core index", cs.Core)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats is a snapshot of everything the injectors perturbed.
+type Stats struct {
+	TLPsCorrupted uint64 // metadata bit flips delivered
+	TLPsPoisoned  uint64 // write TLPs discarded at the root complex
+	LinkFlaps     uint64 // link-down windows opened
+	DMAStalls     uint64 // DMA-engine holds issued
+	MbufsLeaked   uint64 // buffers transiently stolen from pools
+	DRAMSpikes    uint64 // latency-spike windows opened
+	SnoopThrashes uint64 // directory-pressure rounds
+	DirEvictions  uint64 // entries displaced by injected pressure
+	CoreStalls    uint64 // slow-core stalls issued
+}
+
+// Total sums every perturbation count (spike/flap windows count once).
+func (s Stats) Total() uint64 {
+	return s.TLPsCorrupted + s.TLPsPoisoned + s.LinkFlaps + s.DMAStalls +
+		s.MbufsLeaked + s.DRAMSpikes + s.SnoopThrashes + s.CoreStalls
+}
+
+// Injector owns the seeded generator and the component handles, and
+// delivers every perturbation through the simulator's event queue.
+type Injector struct {
+	cfg Config
+	rng *rand.Rand
+
+	ports []*nic.NIC
+	pools []*nic.MbufPool
+	mem   *dram.DRAM
+	hier  *hier.Hierarchy
+	cores []*cpu.Core
+
+	tlpsCorrupted stats.Counter
+	tlpsPoisoned  stats.Counter
+	linkFlaps     stats.Counter
+	dmaStalls     stats.Counter
+	mbufsLeaked   stats.Counter
+	dramSpikes    stats.Counter
+	snoopThrashes stats.Counter
+	dirEvictions  stats.Counter
+	coreStalls    stats.Counter
+
+	started bool
+}
+
+// New builds an injector; the configuration must already have passed
+// Validate.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// AttachPort registers a NIC port as a link-flap / DMA-stall target.
+func (in *Injector) AttachPort(n *nic.NIC) { in.ports = append(in.ports, n) }
+
+// AttachPool registers an mbuf pool as an exhaustion target.
+func (in *Injector) AttachPool(p *nic.MbufPool) { in.pools = append(in.pools, p) }
+
+// AttachDRAM registers the memory device for latency spikes.
+func (in *Injector) AttachDRAM(d *dram.DRAM) { in.mem = d }
+
+// AttachHier registers the hierarchy for snoop-filter pressure.
+func (in *Injector) AttachHier(h *hier.Hierarchy) { in.hier = h }
+
+// AttachCore registers a core as a slow-core stall target.
+func (in *Injector) AttachCore(c *cpu.Core) { in.cores = append(in.cores, c) }
+
+// Stats snapshots the perturbation counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		TLPsCorrupted: in.tlpsCorrupted.Value(),
+		TLPsPoisoned:  in.tlpsPoisoned.Value(),
+		LinkFlaps:     in.linkFlaps.Value(),
+		DMAStalls:     in.dmaStalls.Value(),
+		MbufsLeaked:   in.mbufsLeaked.Value(),
+		DRAMSpikes:    in.dramSpikes.Value(),
+		SnoopThrashes: in.snoopThrashes.Value(),
+		DirEvictions:  in.dirEvictions.Value(),
+		CoreStalls:    in.coreStalls.Value(),
+	}
+}
+
+// --- PCIe interposition ---
+
+// sinkInterposer sits between the NIC's DMA engine and the root
+// complex, perturbing write TLPs per the PCIe config. Reads pass
+// through untouched (read completions are CRC-protected end to end).
+type sinkInterposer struct {
+	next nic.Sink
+	in   *Injector
+}
+
+// WrapSink interposes the injector on a NIC→root-complex path. With
+// no PCIe faults configured the sink is returned unwrapped, so the
+// happy path costs nothing.
+func (in *Injector) WrapSink(next nic.Sink) nic.Sink {
+	if in.cfg.PCIe == nil {
+		return next
+	}
+	return &sinkInterposer{next: next, in: in}
+}
+
+// DMAWrite implements nic.Sink.
+func (si *sinkInterposer) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
+	cfg := si.in.cfg.PCIe
+	// Draw in fixed order (poison, then corrupt) so the decision
+	// stream is reproducible regardless of probabilities.
+	poisoned := cfg.PoisonProb > 0 && si.in.rng.Float64() < cfg.PoisonProb
+	corrupted := cfg.CorruptProb > 0 && si.in.rng.Float64() < cfg.CorruptProb
+	if poisoned {
+		si.in.tlpsPoisoned.Inc()
+		return 0 // discarded at the root complex: never touches memory
+	}
+	if corrupted {
+		tlp = tlp.FlipMetaBit(si.in.rng.Intn(len(pcie.MetaBits())))
+		si.in.tlpsCorrupted.Inc()
+	}
+	return si.next.DMAWrite(now, tlp)
+}
+
+// DMARead implements nic.Sink.
+func (si *sinkInterposer) DMARead(now sim.Time, line uint64) sim.Duration {
+	return si.next.DMARead(now, line)
+}
+
+// --- periodic injectors ---
+
+// jitter returns a uniformly random duration in [period/2, 3*period/2)
+// so periodic faults do not phase-lock with the workload's own
+// periodicity (bursts, control-plane loops).
+func (in *Injector) jitter(period sim.Duration) sim.Duration {
+	half := int64(period) / 2
+	if half <= 0 {
+		return period
+	}
+	return sim.Duration(half + in.rng.Int63n(2*half))
+}
+
+// chain schedules fn roughly every period (with jitter), rescheduling
+// itself through the event queue forever.
+func (in *Injector) chain(s *sim.Simulator, period sim.Duration, fn func(sm *sim.Simulator)) {
+	var tick sim.Event
+	tick = func(sm *sim.Simulator) {
+		fn(sm)
+		sm.After(in.jitter(period), tick)
+	}
+	s.After(in.jitter(period), tick)
+}
+
+// Start schedules every configured periodic injector. Call it once,
+// after every target is attached (idio.System.Start does). The PCIe
+// interposer needs no start — it perturbs inline.
+func (in *Injector) Start(s *sim.Simulator) {
+	if in.started {
+		return
+	}
+	in.started = true
+	if f := in.cfg.LinkFlap; f != nil && len(in.ports) > 0 {
+		in.chain(s, f.Period, func(sm *sim.Simulator) {
+			port := in.ports[in.rng.Intn(len(in.ports))]
+			if !port.LinkUp() {
+				return // already down from an overlapping flap
+			}
+			port.SetLinkState(false)
+			in.linkFlaps.Inc()
+			sm.After(f.Down, func(*sim.Simulator) { port.SetLinkState(true) })
+		})
+	}
+	if d := in.cfg.DMAStall; d != nil && len(in.ports) > 0 {
+		in.chain(s, d.Period, func(sm *sim.Simulator) {
+			port := in.ports[in.rng.Intn(len(in.ports))]
+			port.StallDMA(sm.Now(), d.Stall)
+			in.dmaStalls.Inc()
+		})
+	}
+	if m := in.cfg.MbufLeak; m != nil && len(in.pools) > 0 {
+		in.chain(s, m.Period, func(sm *sim.Simulator) {
+			pool := in.pools[in.rng.Intn(len(in.pools))]
+			var held []mem.Region
+			for i := 0; i < m.Count && pool.Available() > 0; i++ {
+				if b, ok := pool.Alloc(); ok {
+					held = append(held, b)
+					in.mbufsLeaked.Inc()
+				}
+			}
+			if len(held) == 0 {
+				return
+			}
+			sm.After(m.Hold, func(*sim.Simulator) {
+				for _, b := range held {
+					pool.Free(b)
+				}
+			})
+		})
+	}
+	if d := in.cfg.DRAMSpike; d != nil && in.mem != nil {
+		in.chain(s, d.Period, func(sm *sim.Simulator) {
+			if in.mem.ExtraLatency() > 0 {
+				return // a spike is already active; skip overlap
+			}
+			in.mem.SetExtraLatency(d.Extra)
+			in.dramSpikes.Inc()
+			sm.After(d.Length, func(*sim.Simulator) { in.mem.SetExtraLatency(0) })
+		})
+	}
+	if t := in.cfg.SnoopThrash; t != nil && in.hier != nil {
+		in.chain(s, t.Period, func(sm *sim.Simulator) {
+			lines := make([]uint64, t.Lines)
+			for i := range lines {
+				// Synthetic lines live in a high region no real
+				// allocation reaches, so only directory SETS collide
+				// with real traffic — which is the fault being modeled.
+				lines[i] = 1<<40 | uint64(in.rng.Int63n(1<<24))
+			}
+			ev := in.hier.InjectSnoopPressure(sm.Now(), in.rng.Intn(maxInt(len(in.cores), 1)), lines)
+			in.snoopThrashes.Inc()
+			in.dirEvictions.Add(uint64(ev))
+		})
+	}
+	if cs := in.cfg.CoreStall; cs != nil && len(in.cores) > 0 {
+		in.chain(s, cs.Period, func(sm *sim.Simulator) {
+			idx := cs.Core
+			if idx < 0 || idx >= len(in.cores) {
+				idx = in.rng.Intn(len(in.cores))
+			}
+			in.cores[idx].InjectStall(sm.Now(), cs.Stall)
+			in.coreStalls.Inc()
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

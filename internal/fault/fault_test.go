@@ -1,0 +1,213 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"idio/internal/dram"
+	"idio/internal/pcie"
+	"idio/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	var nilCfg *Config
+	if err := nilCfg.Validate(); err != nil {
+		t.Fatalf("nil config: %v", err)
+	}
+	good := Config{
+		PCIe:        &PCIeConfig{CorruptProb: 0.01, PoisonProb: 0.5},
+		LinkFlap:    &LinkFlapConfig{Period: sim.Millisecond, Down: 10 * sim.Microsecond},
+		DMAStall:    &DMAStallConfig{Period: sim.Millisecond, Stall: sim.Microsecond},
+		MbufLeak:    &MbufLeakConfig{Period: sim.Millisecond, Count: 4, Hold: sim.Microsecond},
+		DRAMSpike:   &DRAMSpikeConfig{Period: sim.Millisecond, Extra: sim.Nanosecond, Length: sim.Microsecond},
+		SnoopThrash: &SnoopThrashConfig{Period: sim.Millisecond, Lines: 16},
+		CoreStall:   &CoreStallConfig{Period: sim.Millisecond, Stall: sim.Microsecond, Core: -1},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mut    func(*Config)
+		substr string
+	}{
+		{"corrupt prob > 1", func(c *Config) { c.PCIe.CorruptProb = 1.5 }, "CorruptProb"},
+		{"poison prob < 0", func(c *Config) { c.PCIe.PoisonProb = -0.1 }, "PoisonProb"},
+		{"flap period", func(c *Config) { c.LinkFlap.Period = 0 }, "LinkFlap.Period"},
+		{"flap down", func(c *Config) { c.LinkFlap.Down = -1 }, "LinkFlap.Down"},
+		{"stall period", func(c *Config) { c.DMAStall.Period = 0 }, "DMAStall.Period"},
+		{"leak count", func(c *Config) { c.MbufLeak.Count = 0 }, "MbufLeak.Count"},
+		{"spike extra", func(c *Config) { c.DRAMSpike.Extra = 0 }, "DRAMSpike.Extra"},
+		{"thrash lines", func(c *Config) { c.SnoopThrash.Lines = 0 }, "SnoopThrash.Lines"},
+		{"core index", func(c *Config) { c.CoreStall.Core = -2 }, "CoreStall.Core"},
+	}
+	for _, tc := range cases {
+		c := good // sub-configs are shared pointers; rebuild per case
+		c.PCIe = &PCIeConfig{CorruptProb: 0.01, PoisonProb: 0.5}
+		c.LinkFlap = &LinkFlapConfig{Period: sim.Millisecond, Down: 10 * sim.Microsecond}
+		c.DMAStall = &DMAStallConfig{Period: sim.Millisecond, Stall: sim.Microsecond}
+		c.MbufLeak = &MbufLeakConfig{Period: sim.Millisecond, Count: 4, Hold: sim.Microsecond}
+		c.DRAMSpike = &DRAMSpikeConfig{Period: sim.Millisecond, Extra: sim.Nanosecond, Length: sim.Microsecond}
+		c.SnoopThrash = &SnoopThrashConfig{Period: sim.Millisecond, Lines: 16}
+		c.CoreStall = &CoreStallConfig{Period: sim.Millisecond, Stall: sim.Microsecond, Core: -1}
+		tc.mut(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	var nilCfg *Config
+	if nilCfg.Enabled() {
+		t.Fatal("nil config enabled")
+	}
+	if (&Config{Seed: 7}).Enabled() {
+		t.Fatal("seed-only config enabled")
+	}
+	if !(&Config{PCIe: &PCIeConfig{}}).Enabled() {
+		t.Fatal("PCIe config not enabled")
+	}
+}
+
+// recordingSink captures delivered TLPs.
+type recordingSink struct {
+	writes []pcie.WriteTLP
+	reads  []uint64
+}
+
+func (r *recordingSink) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
+	r.writes = append(r.writes, tlp)
+	return 0
+}
+
+func (r *recordingSink) DMARead(now sim.Time, line uint64) sim.Duration {
+	r.reads = append(r.reads, line)
+	return 0
+}
+
+func TestWrapSinkPassthrough(t *testing.T) {
+	next := &recordingSink{}
+	in := New(Config{Seed: 1}) // no PCIe faults
+	if got := in.WrapSink(next); got != next {
+		t.Fatal("WrapSink should return the sink unwrapped when PCIe faults are off")
+	}
+}
+
+func TestPoisonDiscardsTLP(t *testing.T) {
+	next := &recordingSink{}
+	in := New(Config{Seed: 1, PCIe: &PCIeConfig{PoisonProb: 1}})
+	sink := in.WrapSink(next)
+	for i := 0; i < 10; i++ {
+		sink.DMAWrite(0, pcie.WriteTLP{LineAddr: uint64(i)})
+	}
+	if len(next.writes) != 0 {
+		t.Fatalf("%d poisoned TLPs reached memory", len(next.writes))
+	}
+	if got := in.Stats().TLPsPoisoned; got != 10 {
+		t.Fatalf("poisoned = %d, want 10", got)
+	}
+	// Reads pass through untouched.
+	sink.DMARead(0, 99)
+	if len(next.reads) != 1 {
+		t.Fatal("read did not pass through")
+	}
+}
+
+func TestCorruptFlipsExactlyOneMetaBit(t *testing.T) {
+	next := &recordingSink{}
+	in := New(Config{Seed: 3, PCIe: &PCIeConfig{CorruptProb: 1}})
+	sink := in.WrapSink(next)
+	dw, err := pcie.EncodeDW0(pcie.Meta{DestCore: 5, IsHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := pcie.WriteTLP{DW0: dw}
+	for i := 0; i < 32; i++ {
+		sink.DMAWrite(0, orig)
+	}
+	if got := in.Stats().TLPsCorrupted; got != 32 {
+		t.Fatalf("corrupted = %d, want 32", got)
+	}
+	for _, tlp := range next.writes {
+		diff := tlp.DW0 ^ orig.DW0
+		if diff == 0 {
+			t.Fatal("corrupted TLP identical to original")
+		}
+		if diff&(diff-1) != 0 {
+			t.Fatalf("more than one bit flipped: %#x", diff)
+		}
+		// The flipped bit must be one of the IDIO metadata bits.
+		found := false
+		for _, b := range pcie.MetaBits() {
+			if diff == 1<<b {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("flip %#x is not a metadata bit", diff)
+		}
+	}
+}
+
+// TestInterposerDeterminism: same seed, same TLP stream — identical
+// perturbation decisions.
+func TestInterposerDeterminism(t *testing.T) {
+	dw, err := pcie.EncodeDW0(pcie.Meta{DestCore: 1, IsBurst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []uint32 {
+		next := &recordingSink{}
+		in := New(Config{Seed: 99, PCIe: &PCIeConfig{CorruptProb: 0.3, PoisonProb: 0.2}})
+		sink := in.WrapSink(next)
+		for i := 0; i < 200; i++ {
+			sink.DMAWrite(sim.Time(i), pcie.WriteTLP{LineAddr: uint64(i), DW0: dw})
+		}
+		var out []uint32
+		for _, w := range next.writes {
+			out = append(out, w.DW0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("delivered %d vs %d TLPs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("TLP %d diverged: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDRAMSpikeInjector: the periodic injector opens and closes
+// latency-spike windows through the event queue.
+func TestDRAMSpikeInjector(t *testing.T) {
+	s := sim.New()
+	d := dram.New(dram.FlatConfig(), 0)
+	in := New(Config{Seed: 5, DRAMSpike: &DRAMSpikeConfig{
+		Period: 100 * sim.Microsecond,
+		Extra:  50 * sim.Nanosecond,
+		Length: 10 * sim.Microsecond,
+	}})
+	in.AttachDRAM(d)
+	in.Start(s)
+	s.Every(0, sim.Microsecond, func(sm *sim.Simulator) { d.Read(sm.Now(), 1) })
+	s.RunUntil(sim.Time(2 * sim.Millisecond))
+	st := in.Stats()
+	if st.DRAMSpikes == 0 {
+		t.Fatal("no spikes injected")
+	}
+	if d.PenalizedAccesses() == 0 {
+		t.Fatal("no access paid the injected penalty")
+	}
+	if d.PenalizedAccesses() >= d.Reads() {
+		t.Fatalf("penalty stuck on: %d of %d reads penalized", d.PenalizedAccesses(), d.Reads())
+	}
+}

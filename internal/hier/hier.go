@@ -630,6 +630,27 @@ func (h *Hierarchy) PrefetchToMLC(now sim.Time, core int, line mem.LineAddr) boo
 	return true
 }
 
+// InjectSnoopPressure force-inserts synthetic entries into the
+// snoop-filter directory on behalf of owner — the fault model of a
+// co-runner (another socket's coherence traffic, an SGX enclave, a
+// noisy VM) thrashing the directory. Conflict victims back-invalidate
+// real MLC-resident lines exactly as organic pressure would
+// (Skylake-SP's directory side channel works the same way). It
+// returns how many synthetic insertions displaced an existing entry.
+func (h *Hierarchy) InjectSnoopPressure(now sim.Time, owner int, lines []uint64) int {
+	if owner < 0 || owner >= h.cfg.NumCores {
+		owner = 0
+	}
+	evicted := 0
+	for _, la := range lines {
+		if vd, evd := h.dir.insert(la, owner); evd {
+			h.backInvalidate(now, vd.owner, vd.line)
+			evicted++
+		}
+	}
+	return evicted
+}
+
 // WarmWrite installs a line into a core's MLC as cache warm-up: no
 // latency is charged, no DRAM traffic is generated, and no statistics
 // are recorded. Victims displaced by the warm fill spill into the LLC

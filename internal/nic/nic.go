@@ -53,6 +53,20 @@ type Stats struct {
 	TxPackets uint64
 	DMAWrites uint64 // payload+descriptor line writes
 	DMAReads  uint64 // TX line reads
+	// PoolDrops counts packets rejected because the mbuf pool was
+	// exhausted (pooled rings only).
+	PoolDrops uint64
+	// LinkDownDrops counts packets lost while the link was down
+	// (injected flaps).
+	LinkDownDrops uint64
+	// MisSteers counts packets the flow director steered to a
+	// non-existent queue; they are dropped instead of crashing.
+	MisSteers uint64
+	// InvariantViolations counts internal errors (e.g. metadata that
+	// failed to encode) handled by dropping the affected DMA instead of
+	// panicking. Non-zero values indicate a bug or an injected fault
+	// reaching an encode path.
+	InvariantViolations uint64
 }
 
 // NIC is the device model. Incoming packets (from a traffic generator)
@@ -75,6 +89,14 @@ type NIC struct {
 	// packet visible on a queue — the interrupt line for
 	// interrupt-mode drivers. Polling-mode drivers leave them nil.
 	completionHooks []func(*sim.Simulator)
+
+	// linkDown, when true, drops every arriving packet (an injected
+	// link flap). In-flight DMA is unaffected, as on real hardware.
+	linkDown bool
+
+	// invariantHook, when set, observes invariant violations (for
+	// logging or test assertions) after the counter increments.
+	invariantHook func(error)
 
 	stats Stats
 }
@@ -113,8 +135,42 @@ func (n *NIC) Stats() Stats {
 	s := n.stats
 	for _, r := range n.rings {
 		s.RxDrops += r.Drops
+		s.PoolDrops += r.PoolDrops
 	}
 	return s
+}
+
+// SetLinkState raises or drops the link. While down, arriving packets
+// are lost (counted in LinkDownDrops); DMA already scheduled keeps
+// flowing, matching a MAC-level flap.
+func (n *NIC) SetLinkState(up bool) { n.linkDown = !up }
+
+// LinkUp reports the current link state.
+func (n *NIC) LinkUp() bool { return !n.linkDown }
+
+// StallDMA holds the DMA engine for d beyond its current free point —
+// a paced-DMA stall (PCIe credit exhaustion, retrained link). Returns
+// when the engine will next be available.
+func (n *NIC) StallDMA(now sim.Time, d sim.Duration) sim.Time {
+	if n.engineFree < now {
+		n.engineFree = now
+	}
+	n.engineFree = n.engineFree.Add(d)
+	return n.engineFree
+}
+
+// SetInvariantHook installs an observer called on every invariant
+// violation (after the counter increments).
+func (n *NIC) SetInvariantHook(fn func(error)) { n.invariantHook = fn }
+
+// invariant records an internal error on a named path and drops the
+// offending work instead of crashing the process. A faulted DMA must
+// degrade the run, not kill it.
+func (n *NIC) invariant(path string, err error) {
+	n.stats.InvariantViolations++
+	if n.invariantHook != nil {
+		n.invariantHook(fmt.Errorf("nic: invariant violation on %s: %w", path, err))
+	}
 }
 
 // lineTime is the wire time of one 64-byte transfer at the DMA rate.
@@ -138,6 +194,10 @@ func (n *NIC) reserveEngine(now sim.Time, nLines int) (start, end sim.Time) {
 // a core, admit to the ring (or drop), and schedule the paced DMA of
 // payload lines followed by the coalesced descriptor write-back.
 func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
+	if n.linkDown {
+		n.stats.LinkDownDrops++
+		return
+	}
 	fields, err := pkt.Parse(p.Frame)
 	if err != nil {
 		// Undecodable frames are dropped by the parser stage.
@@ -145,8 +205,12 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		return
 	}
 	coreID := n.flowdir.Steer(fields.Tuple())
-	if coreID >= n.cfg.NumQueues {
-		panic(fmt.Sprintf("nic: flow director steered to core %d with %d queues", coreID, n.cfg.NumQueues))
+	if coreID < 0 || coreID >= n.cfg.NumQueues {
+		// A rule steering to a non-existent queue (misprogrammed flow
+		// director) drops the packet rather than crashing the device.
+		n.stats.MisSteers++
+		n.invariant("rx-steer", fmt.Errorf("flow director steered to core %d with %d queues", coreID, n.cfg.NumQueues))
+		return
 	}
 	ring := n.rings[coreID]
 	slot := ring.Produce(p)
@@ -178,7 +242,10 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		meta := n.classifier.Tag(appClass, coreID, idx == 0, inBurst)
 		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
 		if err != nil {
-			panic(err)
+			// The line's DMA is skipped; the packet degrades rather
+			// than the process dying mid-run.
+			n.invariant("dma-write", err)
+			return
 		}
 		s.AtNamed(at, "dma-write", func(sm *sim.Simulator) {
 			n.stats.DMAWrites++
@@ -196,7 +263,8 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		meta := n.classifier.Tag(appClass, coreID, false, inBurst)
 		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
 		if err != nil {
-			panic(err)
+			n.invariant("desc-write", err)
+			return
 		}
 		s.AtNamed(at, "desc-write", func(sm *sim.Simulator) {
 			n.stats.DMAWrites++

@@ -118,13 +118,17 @@ func (n *NIC) KickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region, 
 	meta := n.classifier.Tag(0, q, false, false)
 	tlp, err := pcie.NewWriteTLP(uint64(complLine), meta)
 	if err != nil {
-		panic(err)
+		// The completion write is skipped but the ring still retires
+		// the slot so a faulted DMA cannot wedge the TX path.
+		n.invariant("tx-completion", err)
+		s.AtNamed(complAt, "tx-completion", func(sm *sim.Simulator) { ring.Complete() })
+	} else {
+		s.AtNamed(complAt, "tx-completion", func(sm *sim.Simulator) {
+			n.stats.DMAWrites++
+			n.sink.DMAWrite(sm.Now(), tlp)
+			ring.Complete()
+		})
 	}
-	s.AtNamed(complAt, "tx-completion", func(sm *sim.Simulator) {
-		n.stats.DMAWrites++
-		n.sink.DMAWrite(sm.Now(), tlp)
-		ring.Complete()
-	})
 	n.stats.TxPackets++
 	if done != nil {
 		s.AtNamed(end, "tx-done", func(sm *sim.Simulator) { done(sm.Now()) })

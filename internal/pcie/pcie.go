@@ -118,3 +118,21 @@ func NewWriteTLP(lineAddr uint64, m Meta) (WriteTLP, error) {
 
 // Meta decodes the transaction's metadata.
 func (t WriteTLP) Meta() Meta { return DecodeDW0(t.DW0) }
+
+// MetaBits lists every DW0 bit position carrying IDIO metadata, in
+// descending order. Fault injectors flip these to model single-event
+// upsets in the reserved header bits (a mis-steer the classifier's
+// consumer must tolerate).
+func MetaBits() []uint {
+	bits := []uint{isHeaderBit, isBurstBit}
+	return append(bits, destCoreBits[:]...)
+}
+
+// FlipMetaBit returns the TLP with the i-th metadata bit (an index
+// into MetaBits) inverted. The TLP itself is unchanged; the caller
+// forwards the corrupted copy.
+func (t WriteTLP) FlipMetaBit(i int) WriteTLP {
+	bits := MetaBits()
+	t.DW0 ^= 1 << bits[i%len(bits)]
+	return t
+}

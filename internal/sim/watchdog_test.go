@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestWatchdogNoProgress: a zero-delay self-rescheduling event must
+// trip the no-progress detector instead of hanging the run.
+func TestWatchdogNoProgress(t *testing.T) {
+	s := New()
+	s.SetWatchdog(WatchdogConfig{MaxEventsPerInstant: 1000})
+	var spin Event
+	spin = func(sm *Simulator) { sm.At(sm.Now(), spin) }
+	s.At(0, spin)
+	s.RunUntil(Time(Second))
+	var werr *WatchdogError
+	if !errors.As(s.Err(), &werr) {
+		t.Fatalf("expected WatchdogError, got %v", s.Err())
+	}
+	if werr.Kind != "no-progress" {
+		t.Fatalf("kind = %q, want no-progress", werr.Kind)
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock advanced to %v during a zero-delay livelock", s.Now())
+	}
+}
+
+// TestWatchdogEventStorm: unbounded scheduling fan-out must trip the
+// pending-queue bound.
+func TestWatchdogEventStorm(t *testing.T) {
+	s := New()
+	s.SetWatchdog(WatchdogConfig{MaxPendingEvents: 1 << 12})
+	var fanout Event
+	fanout = func(sm *Simulator) {
+		sm.After(Nanosecond, fanout)
+		sm.After(Nanosecond, fanout)
+	}
+	s.At(0, fanout)
+	s.RunUntil(Time(Second))
+	var werr *WatchdogError
+	if !errors.As(s.Err(), &werr) || werr.Kind != "event-storm" {
+		t.Fatalf("expected event-storm abort, got %v", s.Err())
+	}
+}
+
+// TestWatchdogEventBudget: the hard per-run event budget bounds
+// unattended runs.
+func TestWatchdogEventBudget(t *testing.T) {
+	s := New()
+	s.SetWatchdog(WatchdogConfig{MaxProcessedEvents: 100})
+	s.Every(0, Nanosecond, func(*Simulator) {})
+	s.RunUntil(Time(Second))
+	var werr *WatchdogError
+	if !errors.As(s.Err(), &werr) || werr.Kind != "event-budget" {
+		t.Fatalf("expected event-budget abort, got %v", s.Err())
+	}
+}
+
+// TestWatchdogCleanRun: an armed watchdog must not perturb a healthy
+// run, and Err must be nil (not a typed-nil interface).
+func TestWatchdogCleanRun(t *testing.T) {
+	s := New()
+	s.SetWatchdog(DefaultWatchdogConfig())
+	n := 0
+	s.Every(0, Microsecond, func(*Simulator) { n++ })
+	s.RunUntil(Time(Millisecond))
+	if err := s.Err(); err != nil {
+		t.Fatalf("clean run reported %v", err)
+	}
+	if n == 0 {
+		t.Fatal("periodic task never ran")
+	}
+}
+
+// TestWatchdogErrResets: a trip in one RunUntil must not leak into the
+// next (fresh) run.
+func TestWatchdogErrResets(t *testing.T) {
+	s := New()
+	s.SetWatchdog(WatchdogConfig{MaxEventsPerInstant: 10})
+	var spin Event
+	spin = func(sm *Simulator) { sm.At(sm.Now(), spin) }
+	s.At(0, spin)
+	s.RunUntil(Time(Millisecond))
+	var werr *WatchdogError
+	if !errors.As(s.Err(), &werr) || werr.Kind != "no-progress" {
+		t.Fatalf("expected no-progress trip, got %v", s.Err())
+	}
+	// Re-arm with a different bound: the next run's error must reflect
+	// that run, not the stale no-progress trip.
+	s.SetWatchdog(WatchdogConfig{MaxProcessedEvents: 5})
+	s.RunUntil(Time(2 * Millisecond))
+	if !errors.As(s.Err(), &werr) || werr.Kind != "event-budget" {
+		t.Fatalf("second run reported %v, want event-budget", s.Err())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"idio/internal/fault"
 	"idio/internal/hier"
 	"idio/internal/nic"
 	"idio/internal/sim"
@@ -36,6 +37,28 @@ type Results struct {
 	DRAMWrites    uint64
 	DRAMRowHits   uint64
 	DRAMRowMisses uint64
+	// DRAMPenalized counts accesses served during an injected
+	// latency-spike window.
+	DRAMPenalized uint64
+
+	// IOMMUReadFaults / IOMMUWriteFaults count DMA transactions the
+	// IOMMU rejected (dropped before touching memory). Always zero
+	// when the IOMMU is disabled.
+	IOMMUReadFaults  uint64
+	IOMMUWriteFaults uint64
+
+	// CtrlMisSteers counts TLPs whose decoded metadata named a
+	// non-existent destination core (corrupted in flight); the
+	// controller degraded them to the LLC default instead of crashing.
+	CtrlMisSteers uint64
+
+	// Faults snapshots the fault injectors' perturbation counts; the
+	// zero value means no fault layer was configured.
+	Faults fault.Stats
+
+	// Aborted is non-nil when the run was stopped by the simulator
+	// watchdog rather than reaching its horizon.
+	Aborted *sim.WatchdogError
 
 	// ExeTime is the burst processing time: first inbound DMA to the
 	// last packet completion across cores (Fig. 10's Exe Time).
@@ -61,6 +84,8 @@ func (s *System) Collect() Results {
 		DRAMWrites:    s.Hier.DRAM().Writes(),
 		DRAMRowHits:   s.Hier.DRAM().RowHits(),
 		DRAMRowMisses: s.Hier.DRAM().RowMisses(),
+		DRAMPenalized: s.Hier.DRAM().PenalizedAccesses(),
+		CtrlMisSteers: s.Controller.MisSteers,
 		MLCWBTL:       s.Hier.MLCWBTL,
 		LLCWBTL:       s.Hier.LLCWBTL,
 		MLCInvTL:      s.Hier.MLCInvTL,
@@ -68,6 +93,35 @@ func (s *System) Collect() Results {
 		DRAMRdTL:      s.Hier.DRAM().ReadTL,
 		DRAMWrTL:      s.Hier.DRAM().WriteTL,
 	}
+	// Multi-port systems aggregate the non-primary ports' NIC counters
+	// so drops on any port are visible in the summary.
+	for _, port := range s.ports[1:] {
+		ps := port.Stats()
+		r.NIC.RxPackets += ps.RxPackets
+		r.NIC.RxBytes += ps.RxBytes
+		r.NIC.RxDrops += ps.RxDrops
+		r.NIC.TxPackets += ps.TxPackets
+		r.NIC.DMAWrites += ps.DMAWrites
+		r.NIC.DMAReads += ps.DMAReads
+		r.NIC.PoolDrops += ps.PoolDrops
+		r.NIC.LinkDownDrops += ps.LinkDownDrops
+		r.NIC.MisSteers += ps.MisSteers
+		r.NIC.InvariantViolations += ps.InvariantViolations
+	}
+	if s.IOMMU != nil {
+		r.IOMMUReadFaults = s.IOMMU.ReadFaults
+		r.IOMMUWriteFaults = s.IOMMU.WriteFaults
+	}
+	if s.Faults != nil {
+		r.Faults = s.Faults.Stats()
+	}
+	var wd *sim.WatchdogError
+	if err := s.Sim.Err(); err != nil {
+		if werr, ok := err.(*sim.WatchdogError); ok {
+			wd = werr
+		}
+	}
+	r.Aborted = wd
 	var lastDone sim.Time
 	for i, c := range s.Cores {
 		if c == nil {
@@ -95,6 +149,13 @@ func (s *System) Collect() Results {
 		r.ExeTime = lastDone.Sub(first)
 	}
 	return r
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // TotalProcessed sums processed packets across cores.
@@ -140,9 +201,16 @@ func (r Results) WriteStats(w io.Writer) error {
 		{"nic.rx_packets", r.NIC.RxPackets},
 		{"nic.rx_bytes", r.NIC.RxBytes},
 		{"nic.rx_drops", r.NIC.RxDrops},
+		{"nic.pool_drops", r.NIC.PoolDrops},
+		{"nic.linkdown_drops", r.NIC.LinkDownDrops},
+		{"nic.missteers", r.NIC.MisSteers},
+		{"nic.invariant_violations", r.NIC.InvariantViolations},
 		{"nic.tx_packets", r.NIC.TxPackets},
 		{"nic.dma_writes", r.NIC.DMAWrites},
 		{"nic.dma_reads", r.NIC.DMAReads},
+		{"iommu.read_faults", r.IOMMUReadFaults},
+		{"iommu.write_faults", r.IOMMUWriteFaults},
+		{"ctrl.missteers", r.CtrlMisSteers},
 		{"hier.mlc_writebacks", r.Hier.MLCWriteback},
 		{"hier.mlc_writebacks_dirty", r.Hier.MLCWBDirty},
 		{"hier.mlc_invalidations", r.Hier.MLCInval},
@@ -163,7 +231,25 @@ func (r Results) WriteStats(w io.Writer) error {
 		{"dram.writes", r.DRAMWrites},
 		{"dram.row_hits", r.DRAMRowHits},
 		{"dram.row_misses", r.DRAMRowMisses},
+		{"dram.penalized_accesses", r.DRAMPenalized},
 		{"exe_time_us", r.ExeTime.Microseconds()},
+		{"sim.aborted", boolToInt(r.Aborted != nil)},
+	}
+	if r.Faults.Total() > 0 {
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
+			{"fault.tlps_corrupted", r.Faults.TLPsCorrupted},
+			{"fault.tlps_poisoned", r.Faults.TLPsPoisoned},
+			{"fault.link_flaps", r.Faults.LinkFlaps},
+			{"fault.dma_stalls", r.Faults.DMAStalls},
+			{"fault.mbufs_leaked", r.Faults.MbufsLeaked},
+			{"fault.dram_spikes", r.Faults.DRAMSpikes},
+			{"fault.snoop_thrashes", r.Faults.SnoopThrashes},
+			{"fault.dir_evictions", r.Faults.DirEvictions},
+			{"fault.core_stalls", r.Faults.CoreStalls},
+		}...)
 	}
 	for _, e := range kv {
 		if _, err := fmt.Fprintf(w, "%-30s %v\n", e.k, e.v); err != nil {
@@ -199,7 +285,20 @@ func (r Results) WriteStats(w io.Writer) error {
 // String renders a human-readable summary.
 func (r Results) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "t=%v processed=%d drops=%d\n", r.Now, r.TotalProcessed(), r.NIC.RxDrops)
+	fmt.Fprintf(&b, "t=%v processed=%d drops=%d (pool %d, linkdown %d)\n",
+		r.Now, r.TotalProcessed(), r.NIC.RxDrops, r.NIC.PoolDrops, r.NIC.LinkDownDrops)
+	if r.IOMMUReadFaults+r.IOMMUWriteFaults > 0 {
+		fmt.Fprintf(&b, "  IOMMU faults: read=%d write=%d\n", r.IOMMUReadFaults, r.IOMMUWriteFaults)
+	}
+	if r.Faults.Total() > 0 {
+		fmt.Fprintf(&b, "  faults: tlpCorrupt=%d tlpPoison=%d flaps=%d dmaStalls=%d mbufLeaks=%d dramSpikes=%d snoopThrash=%d coreStalls=%d missteers=%d\n",
+			r.Faults.TLPsCorrupted, r.Faults.TLPsPoisoned, r.Faults.LinkFlaps,
+			r.Faults.DMAStalls, r.Faults.MbufsLeaked, r.Faults.DRAMSpikes,
+			r.Faults.SnoopThrashes, r.Faults.CoreStalls, r.CtrlMisSteers)
+	}
+	if r.Aborted != nil {
+		fmt.Fprintf(&b, "  ABORTED: %v\n", r.Aborted)
+	}
 	fmt.Fprintf(&b, "  MLC WB=%d (dirty %d) inval=%d | LLC WB=%d (IO %d) | selfInval=%d\n",
 		r.Hier.MLCWriteback, r.Hier.MLCWBDirty, r.Hier.MLCInval,
 		r.Hier.LLCWriteback, r.Hier.LLCWBIO, r.Hier.SelfInval)

@@ -1,0 +1,237 @@
+package idio
+
+// Robustness: the system must degrade — drop, count, and keep going —
+// under injected faults, never crash or hang, and fault-injected runs
+// must stay bit-reproducible per seed.
+
+import (
+	"strings"
+	"testing"
+
+	"idio/internal/apps"
+	idiocore "idio/internal/core"
+	"idio/internal/fault"
+	"idio/internal/sim"
+	"idio/internal/traffic"
+)
+
+// TestRingOverflowUnderStalledDMA: periodic paced-DMA stalls under
+// bursty traffic back descriptors up into the ring until it overflows;
+// every lost packet must be accounted as a drop, and the system must
+// keep processing once the stalls clear.
+func TestRingOverflowUnderStalledDMA(t *testing.T) {
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	cfg.NIC.RingSize = 64
+	cfg.Faults = &fault.Config{
+		Seed: 11,
+		DMAStall: &fault.DMAStallConfig{
+			Period: 50 * sim.Microsecond,
+			Stall:  200 * sim.Microsecond,
+		},
+	}
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	sys.AddNF(0, apps.TouchDrop{}, flow)
+	const generated = 512
+	traffic.Bursty{
+		Flow: flow, BurstRateBps: traffic.Gbps(100),
+		Period: 10 * sim.Millisecond, PacketsPerBurst: generated, NumBursts: 1,
+	}.Install(sys.Sim, sys.NIC)
+	res := sys.RunUntilIdle(9 * sim.Millisecond)
+
+	if res.Faults.DMAStalls == 0 {
+		t.Fatal("no DMA stalls injected")
+	}
+	if res.NIC.RxDrops == 0 {
+		t.Fatal("stalled DMA should have overflowed the 64-entry ring")
+	}
+	if res.TotalProcessed() == 0 {
+		t.Fatal("system wedged: nothing processed despite transient stalls")
+	}
+	if got := res.TotalProcessed() + res.NIC.RxDrops; got != generated {
+		t.Fatalf("conservation: processed+dropped = %d, want %d", got, generated)
+	}
+}
+
+// TestMbufPoolExhaustionUnderBurst: a pooled ring whose pool is
+// smaller than the burst takes PoolDrops for the overflow — and every
+// packet is still exactly one of processed / ring-dropped /
+// pool-dropped.
+func TestMbufPoolExhaustionUnderBurst(t *testing.T) {
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	sys.AddNF(0, apps.TouchDrop{}, flow)
+	pool := sys.NewMbufPool(16)
+	sys.NIC.Ring(0).AttachPool(pool)
+	const generated = 64
+	traffic.Bursty{
+		Flow: flow, BurstRateBps: traffic.Gbps(100),
+		Period: 10 * sim.Millisecond, PacketsPerBurst: generated, NumBursts: 1,
+	}.Install(sys.Sim, sys.NIC)
+	res := sys.RunUntilIdle(9 * sim.Millisecond)
+
+	if res.NIC.PoolDrops == 0 {
+		t.Fatal("a 16-buffer pool under a 64-packet burst should exhaust")
+	}
+	if res.TotalProcessed() == 0 {
+		t.Fatal("nothing processed")
+	}
+	if got := res.TotalProcessed() + res.NIC.RxDrops + res.NIC.PoolDrops; got != generated {
+		t.Fatalf("conservation: processed+drops+poolDrops = %d, want %d", got, generated)
+	}
+}
+
+// TestMbufLeakInjector: the fault layer's transient leak steals
+// buffers and returns them; the pool must recover to full capacity.
+func TestMbufLeakInjector(t *testing.T) {
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	cfg.Faults = &fault.Config{
+		Seed: 4,
+		MbufLeak: &fault.MbufLeakConfig{
+			Period: 100 * sim.Microsecond,
+			Count:  8,
+			Hold:   50 * sim.Microsecond,
+		},
+	}
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	sys.AddNF(0, apps.TouchDrop{}, flow)
+	pool := sys.NewMbufPool(32)
+	sys.NIC.Ring(0).AttachPool(pool)
+	sys.Start()
+	sys.Sim.RunUntil(sim.Time(2 * sim.Millisecond))
+
+	leaked := sys.Faults.Stats().MbufsLeaked
+	if leaked == 0 {
+		t.Fatal("no mbufs leaked")
+	}
+	if leaked <= 8 {
+		t.Fatalf("only one leak round (%d buffers) in 2 ms of 100 us periods", leaked)
+	}
+	// Holds release after 50 us and windows never overlap, so at the
+	// cutoff at most one window's worth (Count=8) may be outstanding;
+	// anything more means buffers leaked permanently.
+	if pool.Available() < pool.Capacity()-8 {
+		t.Fatalf("pool leaked permanently: %d of %d available", pool.Available(), pool.Capacity())
+	}
+}
+
+// TestFaultInjectedDeterministicReplay: two runs with identical seeds
+// and every injector enabled must produce bit-identical statistics —
+// the tentpole property that makes fault scenarios debuggable.
+func TestFaultInjectedDeterministicReplay(t *testing.T) {
+	run := func() string {
+		cfg := smallCfg(2, idiocore.PolicyIDIO)
+		cfg.Faults = &fault.Config{
+			Seed:        1234,
+			PCIe:        &fault.PCIeConfig{CorruptProb: 0.02, PoisonProb: 0.01},
+			LinkFlap:    &fault.LinkFlapConfig{Period: 2 * sim.Millisecond, Down: 50 * sim.Microsecond},
+			DMAStall:    &fault.DMAStallConfig{Period: sim.Millisecond, Stall: 20 * sim.Microsecond},
+			DRAMSpike:   &fault.DRAMSpikeConfig{Period: sim.Millisecond, Extra: 100 * sim.Nanosecond, Length: 100 * sim.Microsecond},
+			SnoopThrash: &fault.SnoopThrashConfig{Period: sim.Millisecond, Lines: 64},
+			CoreStall:   &fault.CoreStallConfig{Period: sim.Millisecond, Stall: 30 * sim.Microsecond, Core: -1},
+		}
+		wd := sim.DefaultWatchdogConfig()
+		cfg.Watchdog = &wd
+		sys := NewSystem(cfg)
+		for c := 0; c < 2; c++ {
+			flow := sys.DefaultFlow(c)
+			sys.AddNF(c, apps.TouchDrop{}, flow)
+			traffic.Poisson{Flow: flow, RateBps: traffic.Gbps(10), Count: 512, Seed: 7}.Install(sys.Sim, sys.NIC)
+		}
+		res := sys.RunUntilIdle(20 * sim.Millisecond)
+		if res.Faults.Total() == 0 {
+			t.Fatal("no faults injected")
+		}
+		var buf strings.Builder
+		if err := res.WriteStats(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("fault-injected runs diverged:\n--- run1 ---\n%s\n--- run2 ---\n%s", a, b)
+	}
+}
+
+// TestCorruptedTLPsDegradeGracefully: with every TLP's metadata
+// corrupted, mis-steers must be counted and degraded to the LLC
+// default — packets still flow, nothing panics.
+func TestCorruptedTLPsDegradeGracefully(t *testing.T) {
+	cfg := smallCfg(2, idiocore.PolicyIDIO)
+	cfg.Faults = &fault.Config{
+		Seed: 8,
+		PCIe: &fault.PCIeConfig{CorruptProb: 1},
+	}
+	sys := NewSystem(cfg)
+	installTouchDrop(sys, 2, 25, 256)
+	res := sys.RunUntilIdle(9 * sim.Millisecond)
+
+	if res.Faults.TLPsCorrupted == 0 {
+		t.Fatal("no TLPs corrupted")
+	}
+	if res.TotalProcessed() == 0 {
+		t.Fatal("corruption wedged the pipeline")
+	}
+	if res.Aborted != nil {
+		t.Fatalf("run aborted: %v", res.Aborted)
+	}
+}
+
+// TestLinkFlapDrops: link-down windows lose packets at the MAC, which
+// are counted separately from ring drops.
+func TestLinkFlapDrops(t *testing.T) {
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	cfg.Faults = &fault.Config{
+		Seed:     21,
+		LinkFlap: &fault.LinkFlapConfig{Period: 200 * sim.Microsecond, Down: 150 * sim.Microsecond},
+	}
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	sys.AddNF(0, apps.TouchDrop{}, flow)
+	traffic.Steady{Flow: flow, RateBps: traffic.Gbps(5), Count: 2048}.Install(sys.Sim, sys.NIC)
+	res := sys.RunUntilIdle(20 * sim.Millisecond)
+
+	if res.Faults.LinkFlaps == 0 {
+		t.Fatal("no flaps injected")
+	}
+	if res.NIC.LinkDownDrops == 0 {
+		t.Fatal("flaps lost no packets at a rate that should straddle down windows")
+	}
+	if res.TotalProcessed() == 0 {
+		t.Fatal("link never recovered")
+	}
+}
+
+// TestWatchdogSurfacesInResults: an event-budget trip shows up as a
+// structured abort in Results, and the run terminates instead of
+// hanging.
+func TestWatchdogSurfacesInResults(t *testing.T) {
+	cfg := smallCfg(1, idiocore.PolicyDDIO)
+	cfg.Watchdog = &sim.WatchdogConfig{MaxProcessedEvents: 500}
+	sys := NewSystem(cfg)
+	flow := sys.DefaultFlow(0)
+	sys.AddNF(0, apps.TouchDrop{}, flow)
+	traffic.Steady{Flow: flow, RateBps: traffic.Gbps(10), Count: 10000}.Install(sys.Sim, sys.NIC)
+	res := sys.Run(5 * sim.Millisecond)
+	if res.Aborted == nil {
+		t.Fatal("tiny event budget did not trip")
+	}
+	if res.Aborted.Kind != "event-budget" {
+		t.Fatalf("kind = %q", res.Aborted.Kind)
+	}
+	if sys.Err() == nil {
+		t.Fatal("System.Err did not surface the abort")
+	}
+	// The stats dump stays two-fields-per-line even when aborted.
+	var buf strings.Builder
+	if err := res.WriteStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sim.aborted") {
+		t.Fatal("stats dump missing sim.aborted")
+	}
+}

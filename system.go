@@ -5,6 +5,7 @@ import (
 
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	"idio/internal/fault"
 	"idio/internal/hier"
 	"idio/internal/mem"
 	"idio/internal/nic"
@@ -44,7 +45,13 @@ func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
 		return rc.sys.Hier.DirectDRAMWrite(now, mem.LineAddr(tlp.LineAddr))
 	case idiocore.SteerMLC:
 		lat := rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
-		rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
+		// A corrupted metadata bit can decode to a core the system
+		// does not have; Steer only returns SteerMLC for in-range
+		// cores, but guard anyway — a mis-steer must degrade, never
+		// crash.
+		if meta.DestCore >= 0 && meta.DestCore < len(rc.sys.Prefetchers) {
+			rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
+		}
 		return lat
 	default:
 		return rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
@@ -93,6 +100,9 @@ type System struct {
 	WayTuner *idiocore.WayTuner
 	// IOMMU is non-nil when DMA address validation is enabled.
 	IOMMU *pcie.IOMMU
+	// Faults is non-nil when Config.Faults enables the deterministic
+	// fault-injection layer; its Stats() reports what was perturbed.
+	Faults *fault.Injector
 
 	// Occupancy gauges, populated when Config.OccupancySampling > 0.
 	LLCOcc   *stats.LevelSeries
@@ -104,9 +114,28 @@ type System struct {
 	started bool
 }
 
-// NewSystem wires a system from the configuration.
+// NewSystem wires a system from the configuration. It panics on an
+// invalid configuration (the historical behaviour); NewSystemE is the
+// error-returning variant for configurations from untrusted input.
 func NewSystem(cfg Config) *System {
+	s, err := NewSystemE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemE validates the configuration and wires a system,
+// returning *ConfigError values (joined) instead of panicking when
+// the configuration is invalid.
+func NewSystemE(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &System{Cfg: cfg, Sim: sim.New()}
+	if cfg.Watchdog != nil {
+		s.Sim.SetWatchdog(*cfg.Watchdog)
+	}
 	s.Hier = hier.New(cfg.Hier)
 	s.Classifier = idiocore.NewClassifier(cfg.Classifier)
 	s.FlowDir = nic.NewFlowDirector(cfg.Hier.NumCores)
@@ -120,14 +149,29 @@ func NewSystem(cfg Config) *System {
 	}
 	s.rc = &rootComplex{sys: s}
 	s.layout = mem.NewLayout(1 << 30) // DMA regions above 1 GB
+	// The fault injector interposes on the NIC→root-complex PCIe path
+	// so TLP perturbations happen before IOMMU checks and steering,
+	// exactly where a real poisoned/corrupted TLP would bite.
+	var sink nic.Sink = s.rc
+	if cfg.Faults.Enabled() {
+		s.Faults = fault.New(*cfg.Faults)
+		sink = s.Faults.WrapSink(s.rc)
+	}
 	nPorts := cfg.NumPorts
 	if nPorts <= 0 {
 		nPorts = 1
 	}
 	for p := 0; p < nPorts; p++ {
-		s.ports = append(s.ports, nic.New(cfg.NIC, s.layout, s.rc, s.Classifier, s.FlowDir))
+		s.ports = append(s.ports, nic.New(cfg.NIC, s.layout, sink, s.Classifier, s.FlowDir))
 	}
 	s.NIC = s.ports[0]
+	if s.Faults != nil {
+		for _, port := range s.ports {
+			s.Faults.AttachPort(port)
+		}
+		s.Faults.AttachDRAM(s.Hier.DRAM())
+		s.Faults.AttachHier(s.Hier)
+	}
 	s.Cores = make([]*cpu.Core, cfg.Hier.NumCores)
 	if cfg.EnforceInvalidatable {
 		s.Hier.EnforceInvalidatable(true)
@@ -155,7 +199,7 @@ func NewSystem(cfg Config) *System {
 			}
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Ports returns every NIC port.
@@ -187,6 +231,9 @@ func (s *System) AddNF(coreID int, app cpu.App, flow traffic.Flow) *cpu.Core {
 	coreCfg.SelfInvalidate = s.Cfg.Policy.SelfInvalidate
 	c := cpu.NewCore(coreID, coreCfg, s.Cfg.Hier.Clock, s.Hier, s.Ports(), app)
 	s.Cores[coreID] = c
+	if s.Faults != nil {
+		s.Faults.AttachCore(c)
+	}
 	return c
 }
 
@@ -208,6 +255,9 @@ func (s *System) NewMbufPool(n int) *nic.MbufPool {
 		}
 		s.Hier.RegisterInvalidatable(b)
 	}
+	if s.Faults != nil {
+		s.Faults.AttachPool(p)
+	}
 	return p
 }
 
@@ -226,6 +276,9 @@ func (s *System) Start() {
 	s.Controller.Start(s.Sim)
 	if s.WayTuner != nil {
 		s.WayTuner.Start(s.Sim)
+	}
+	if s.Faults != nil {
+		s.Faults.Start(s.Sim)
 	}
 	if p := s.Cfg.OccupancySampling; p > 0 {
 		s.LLCOcc = stats.NewLevelSeries()
@@ -262,12 +315,18 @@ func (s *System) RunUntilIdle(horizon sim.Duration) Results {
 	step := 100 * sim.Microsecond
 	for t := sim.Duration(0); t < horizon; t += step {
 		s.Sim.RunUntil(sim.Time(t + step))
-		if s.idle() {
+		// A tripped watchdog stops the clock; keeping on slicing would
+		// spin through the horizon doing nothing.
+		if s.Sim.Err() != nil || s.idle() {
 			break
 		}
 	}
 	return s.Collect()
 }
+
+// Err reports a structured abort (watchdog trip) from the last run,
+// or nil after a clean run.
+func (s *System) Err() error { return s.Sim.Err() }
 
 func (s *System) idle() bool {
 	for _, port := range s.ports {
