@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race figures
+.PHONY: check vet build test race bench-smoke bench figures
 
-# check is the full pre-merge gate: vet, build, tests, and the race
-# detector over the internal packages.
-check: vet build test race
+# check is the full pre-merge gate: vet, build, tests, the race
+# detector over the internal packages (including a forced-parallel
+# pass over the experiment worker pool), and a one-iteration smoke
+# over every benchmark.
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +19,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+	GOMAXPROCS=2 $(GO) test -race ./internal/experiment
+
+# bench-smoke compiles and runs every benchmark for a single iteration
+# so a broken benchmark fails CI without paying full measurement time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# bench records a measured baseline (3 repetitions, alloc stats) into
+# BENCH_sim.json via scripts/bench.sh.
+bench:
+	./scripts/bench.sh
 
 # figures regenerates every experiment table (reduced-size, CI-friendly).
 figures:

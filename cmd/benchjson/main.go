@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// document keyed by benchmark name. Repeated runs of the same
+// benchmark (-count N) are averaged, the -GOMAXPROCS suffix is
+// stripped, and every reported metric — ns/op, B/op, allocs/op and
+// custom b.ReportMetric units — becomes a field:
+//
+//	go test -bench . -benchmem -count 3 ./internal/sim | benchjson -o BENCH_sim.json
+//
+// Output shape:
+//
+//	{"BenchmarkSchedule": {"iterations": 12345678, "ns/op": 93.1,
+//	                       "B/op": 0, "allocs/op": 0}, ...}
+//
+// Lines that are not benchmark results (pkg headers, PASS/ok, test
+// logs) are ignored, so the raw `go test` stream can be piped in
+// unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "[%d benchmarks written to %s]\n", len(results), *out)
+	}
+}
+
+// parse accumulates per-benchmark metric sums and averages them, so a
+// -count N stream collapses to one entry per benchmark.
+func parse(r io.Reader) (map[string]map[string]float64, error) {
+	sums := map[string]map[string]float64{}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is "BenchmarkName-N  iters  value unit  value unit ...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := sums[name]
+		if m == nil {
+			m = map[string]float64{}
+			sums[name] = m
+		}
+		m["iterations"] += iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value on line %q", sc.Text())
+			}
+			m[fields[i+1]] += v
+		}
+		counts[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := float64(counts[name])
+		for k := range sums[name] {
+			sums[name][k] /= n
+		}
+	}
+	return sums, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -4,20 +4,30 @@
 //
 //	idiosim -exp fig10                    # one experiment, table to stdout
 //	idiosim -exp all -csv out/            # everything, timelines as CSV
+//	idiosim -exp all -j 8                 # fan the grids out over 8 workers
 //	idiosim -exp fig9 -quick              # reduced-size run (CI-friendly)
 //	idiosim -exp verify                   # PASS/FAIL reproduction claims
 //	idiosim -report report.md             # full markdown report
 //	idiosim -scenario s.json -stats s.txt # custom JSON scenario + stats dump
+//	idiosim -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
 // ablations degradation verify all.
+//
+// Every experiment cell simulates an independent System, so -j only
+// changes wall-clock time: the tables and CSVs are byte-identical for
+// any parallelism level.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"idio/internal/experiment"
@@ -29,12 +39,30 @@ func main() {
 	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|verify|all")
 	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
 	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
+	par := flag.Int("j", 1, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a named experiment")
 	statsPath := flag.String("stats", "", "write a flat key=value stats dump for -scenario runs")
 	reportPath := flag.String("report", "", "regenerate everything and write a markdown report to this path")
 	flag.Parse()
 
-	runner := &runner{csvDir: *csvDir, quick: *quick}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
+
+	r := &runner{csvDir: *csvDir, quick: *quick, par: *par}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fatal(err)
@@ -52,7 +80,7 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := experiment.WriteReport(f, experiment.ReportOpts{Quick: *quick}); err != nil {
+		if err := experiment.WriteReport(f, experiment.ReportOpts{Quick: *quick, Parallelism: *par}); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "[report written to %s]\n", *reportPath)
@@ -64,18 +92,35 @@ func main() {
 	if *exp == "all" {
 		targets = all
 	}
-	for _, name := range targets {
+	// Each experiment renders into a private buffer so -exp all can fan
+	// the targets themselves out over the pool; buffers are flushed in
+	// the fixed target order, keeping stdout byte-identical to a serial
+	// run.
+	type expResult struct {
+		out     bytes.Buffer
+		elapsed time.Duration
+		err     error
+	}
+	results := experiment.RunCells(r.par, targets, func(name string) *expResult {
+		res := &expResult{}
 		start := time.Now()
-		if err := runner.run(name); err != nil {
-			fatal(err)
+		res.err = r.run(name, &res.out)
+		res.elapsed = time.Since(start)
+		return res
+	})
+	for i, res := range results {
+		os.Stdout.Write(res.out.Bytes())
+		if res.err != nil {
+			fatal(res.err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", targets[i], res.elapsed.Round(time.Millisecond))
 	}
 }
 
 type runner struct {
 	csvDir string
 	quick  bool
+	par    int
 }
 
 // scale shrinks a figure's geometry for -quick runs.
@@ -85,10 +130,11 @@ const (
 	quickLLC  = 768 << 10
 )
 
-func (r *runner) run(name string) error {
+func (r *runner) run(name string, w io.Writer) error {
 	switch name {
 	case "fig4":
 		opts := experiment.DefaultFig4Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.Rings = []int{64, quickRing}
 			opts.OneWayRings = []int{quickRing}
@@ -96,7 +142,7 @@ func (r *runner) run(name string) error {
 			opts.Loads["low"] = 0.5
 		}
 		rows := experiment.Fig4(opts)
-		return experiment.WriteTable(os.Stdout, "Fig 4: MLC/DRAM leaks vs load and ring size (DDIO baseline)",
+		return experiment.WriteTable(w, "Fig 4: MLC/DRAM leaks vs load and ring size (DDIO baseline)",
 			experiment.Fig4Header(), experiment.Rows(rows))
 
 	case "fig5":
@@ -106,13 +152,14 @@ func (r *runner) run(name string) error {
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 		}
 		res := experiment.Fig5(opts)
-		fmt.Printf("== Fig 5: bursty TouchDrop under DDIO ==\n")
-		fmt.Printf("processed=%d  totalMLCWB=%d  totalLLCWB=%d  (timeline: %d buckets)\n",
+		fmt.Fprintf(w, "== Fig 5: bursty TouchDrop under DDIO ==\n")
+		fmt.Fprintf(w, "processed=%d  totalMLCWB=%d  totalLLCWB=%d  (timeline: %d buckets)\n",
 			res.Processed, res.TotalMLCWB, res.TotalLLCWB, len(res.MLCWB.Points))
 		return r.csv("fig5_timeline.csv", res.MLCWB, res.LLCWB, res.DMA)
 
 	case "fig9":
 		opts := experiment.DefaultFig9Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
@@ -122,7 +169,7 @@ func (r *runner) run(name string) error {
 		for i, c := range cells {
 			rows[i] = c
 		}
-		if err := experiment.WriteTable(os.Stdout, "Fig 9: per-mechanism burst comparison (2x TouchDrop)",
+		if err := experiment.WriteTable(w, "Fig 9: per-mechanism burst comparison (2x TouchDrop)",
 			experiment.Fig9Header(), rows); err != nil {
 			return err
 		}
@@ -136,27 +183,29 @@ func (r *runner) run(name string) error {
 
 	case "fig10":
 		opts := experiment.DefaultFig10Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 		}
 		rows := experiment.Fig10(opts)
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Fig 10: Static/IDIO normalized to DDIO (lower is better)",
 			experiment.Fig10Header(), experiment.Rows(rows))
 
 	case "fig11":
 		opts := experiment.DefaultFig11Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 		}
 		res := experiment.Fig11(opts)
-		fmt.Printf("== Fig 11: L2Fwd (zero-copy shallow NF), %d-byte packets ==\n", opts.FrameLen)
-		fmt.Printf("DDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
+		fmt.Fprintf(w, "== Fig 11: L2Fwd (zero-copy shallow NF), %d-byte packets ==\n", opts.FrameLen)
+		fmt.Fprintf(w, "DDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
 			res.DDIO.Summary.MLCWB, res.DDIO.Summary.LLCWB, res.DDIO.Summary.DRAMWrites, res.DDIO.Summary.ExeTimeUS)
-		fmt.Printf("IDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
+		fmt.Fprintf(w, "IDIO: mlcWB=%d llcWB=%d dramWr=%d exe=%.0fus\n",
 			res.IDIO.Summary.MLCWB, res.IDIO.Summary.LLCWB, res.IDIO.Summary.DRAMWrites, res.IDIO.Summary.ExeTimeUS)
-		fmt.Printf("Direct-DRAM variant (class-1 payload): RX=%.2f Gbps, DRAM write=%.2f Gbps\n",
+		fmt.Fprintf(w, "Direct-DRAM variant (class-1 payload): RX=%.2f Gbps, DRAM write=%.2f Gbps\n",
 			res.DirectDRAM.RxGbps, res.DirectDRAM.DRAMWriteGbps)
 		if err := r.csv("fig11_ddio.csv", res.DDIO.MLCWB, res.DDIO.LLCWB); err != nil {
 			return err
@@ -165,26 +214,28 @@ func (r *runner) run(name string) error {
 
 	case "fig12":
 		opts := experiment.DefaultFig12Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 		}
 		rows := experiment.Fig12(opts)
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Fig 12: p50/p99 latency normalized to DDIO solo",
 			experiment.Fig12Header(), experiment.Rows(rows))
 
 	case "fig13":
 		opts := experiment.DefaultFig13Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 			opts.Packets = 2048
 		}
 		res := experiment.Fig13(opts)
-		fmt.Printf("== Fig 13: steady traffic (10 Gbps per TouchDrop) ==\n")
-		fmt.Printf("DDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
+		fmt.Fprintf(w, "== Fig 13: steady traffic (10 Gbps per TouchDrop) ==\n")
+		fmt.Fprintf(w, "DDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
 			res.DDIO.Summary.MLCWB, res.DDIO.Summary.LLCWB, res.DDIO.Summary.Drops, res.DDIO.Summary.P99US)
-		fmt.Printf("IDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
+		fmt.Fprintf(w, "IDIO: mlcWB=%d llcWB=%d drops=%d p99=%.1fus\n",
 			res.IDIO.Summary.MLCWB, res.IDIO.Summary.LLCWB, res.IDIO.Summary.Drops, res.IDIO.Summary.P99US)
 		if err := r.csv("fig13_ddio.csv", res.DDIO.MLCWB, res.DDIO.LLCWB); err != nil {
 			return err
@@ -193,45 +244,49 @@ func (r *runner) run(name string) error {
 
 	case "fig14":
 		opts := experiment.DefaultFig14Opts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 		}
 		rows := experiment.Fig14(opts)
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Fig 14: IDIO sensitivity to mlcTHR at 100 Gbps (normalized to DDIO)",
 			experiment.Fig14Header(), experiment.Rows(rows))
 
 	case "breakdown":
 		opts := experiment.DefaultBreakdownOpts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 		}
 		rows := experiment.Breakdown(opts)
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Latency breakdown (us): notification / queueing / service",
 			experiment.BreakdownHeader(), experiment.Rows(rows))
 
 	case "degradation":
 		opts := experiment.DefaultDegradationOpts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
 		}
 		rows := experiment.Degradation(opts)
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Degradation: DDIO vs IDIO under swept fault rates (drops / p99 / WB inflation)",
 			experiment.DegradationHeader(), experiment.Rows(rows))
 
 	case "verify":
-		if failed := experiment.Verify(os.Stdout); failed > 0 {
+		if failed := experiment.Verify(w); failed > 0 {
 			return fmt.Errorf("%d reproduction claims failed", failed)
 		}
 		return nil
 
 	case "ablations":
 		opts := experiment.DefaultAblationOpts()
+		opts.Parallelism = r.par
 		if r.quick {
 			opts.RingSize = quickRing
 			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
@@ -249,16 +304,17 @@ func (r *runner) run(name string) error {
 		rows = append(rows, experiment.AblationReplacement(opts)...)
 		rows = append(rows, experiment.AblationInclusion(opts)...)
 		rows = append(rows, experiment.AblationFrameSize(opts, []int{128, 512, 1514})...)
-		if err := experiment.WriteTable(os.Stdout, "Ablations: design-choice sweeps (Fig. 9 scenario)",
+		if err := experiment.WriteTable(w, "Ablations: design-choice sweeps (Fig. 9 scenario)",
 			experiment.AblationHeader(), experiment.Rows(rows)); err != nil {
 			return err
 		}
 		baseOpts := experiment.DefaultBaselineOpts()
+		baseOpts.Parallelism = r.par
 		if r.quick {
 			baseOpts.RingSize = quickRing
 			baseOpts.MLCSize, baseOpts.LLCSize = quickMLC, quickLLC
 		}
-		return experiment.WriteTable(os.Stdout,
+		return experiment.WriteTable(w,
 			"Baselines: static DDIO vs IAT-style dynamic ways vs IDIO (100 Gbps burst)",
 			experiment.BaselineHeader(), experiment.Rows(experiment.Baselines(baseOpts)))
 
@@ -314,6 +370,20 @@ func runScenario(path, statsPath string) error {
 		fmt.Fprintf(os.Stderr, "[stats written to %s]\n", statsPath)
 	}
 	return nil
+}
+
+// writeMemProfile snapshots the heap after a full GC so -memprofile
+// reflects live steady-state allocations, not transient garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -58,6 +58,9 @@ type AblationOpts struct {
 	Horizon  sim.Duration
 	MLCSize  int
 	LLCSize  int
+	// Parallelism bounds the worker pool running independent sweep
+	// cells (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultAblationOpts uses the Fig. 9 scenario (2x TouchDrop, one
@@ -83,54 +86,66 @@ func summarise(param, value string, c Fig9Cell) AblationRow {
 	}
 }
 
+// sweepCell is one configuration of a one-dimensional sweep: a fully
+// prepared Spec plus its table labels. Every Ablation* sweep reduces
+// to a list of these fanned out over the worker pool.
+type sweepCell struct {
+	param, value string
+	spec         Spec
+}
+
+// runSweep fans the cells out and summarises each in order.
+func runSweep(opts AblationOpts, cells []sweepCell) []AblationRow {
+	return RunCells(opts.Parallelism, cells, func(c sweepCell) AblationRow {
+		return summarise(c.param, c.value, runBurstCell(c.spec, opts.RateGbps, opts.Horizon))
+	})
+}
+
 // AblationDDIOWays sweeps the number of LLC ways granted to DDIO under
 // both the baseline and IDIO.
 func AblationDDIOWays(opts AblationOpts, ways []int) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, w := range ways {
 			sp := opts.spec(pol)
 			sp.DDIOWays = w
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("ddioWays/"+pol.Name(), fmt.Sprintf("%d", w), c))
+			cells = append(cells, sweepCell{"ddioWays/" + pol.Name(), fmt.Sprintf("%d", w), sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationRingSize sweeps the DMA ring size under both policies,
 // exposing the footprint-vs-MLC crossover.
 func AblationRingSize(opts AblationOpts, rings []int) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, ring := range rings {
 			sp := opts.spec(pol)
 			sp.RingSize = ring
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("ring/"+pol.Name(), fmt.Sprintf("%d", ring), c))
+			cells = append(cells, sweepCell{"ring/" + pol.Name(), fmt.Sprintf("%d", ring), sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationPrefetchDepth sweeps the MLC prefetcher queue depth under
 // IDIO.
 func AblationPrefetchDepth(opts AblationOpts, depths []int) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, d := range depths {
 		sp := opts.spec(idiocore.PolicyIDIO)
 		sp.PrefetchDepth = d
-		c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-		rows = append(rows, summarise("pfDepth", fmt.Sprintf("%d", d), c))
+		cells = append(cells, sweepCell{"pfDepth", fmt.Sprintf("%d", d), sp})
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationDescCoalescing compares descriptor write-back visibility
 // delays (0 vs the default ~1.9 µs vs an exaggerated lag) under the
 // baseline.
 func AblationDescCoalescing(opts AblationOpts, delays []sim.Duration) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, d := range delays {
 		sp := opts.spec(idiocore.PolicyDDIO)
 		if d == 0 {
@@ -138,10 +153,9 @@ func AblationDescCoalescing(opts AblationOpts, delays []sim.Duration) []Ablation
 		} else {
 			sp.DescWBDelay = d
 		}
-		c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-		rows = append(rows, summarise("descWB", fmt.Sprintf("%.1fus", d.Microseconds()), c))
+		cells = append(cells, sweepCell{"descWB", fmt.Sprintf("%.1fus", d.Microseconds()), sp})
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationMLP sweeps the core's MSHR budget under both policies,
@@ -149,33 +163,31 @@ func AblationDescCoalescing(opts AblationOpts, delays []sim.Duration) []Ablation
 // execution-time gap between DDIO and IDIO (the main systematic
 // deviation from the paper's out-of-order cores — see EXPERIMENTS.md).
 func AblationMLP(opts AblationOpts, mshrs []int) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, m := range mshrs {
 			sp := opts.spec(pol)
 			sp.MSHRs = m
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("mshrs/"+pol.Name(), fmt.Sprintf("%d", m), c))
+			cells = append(cells, sweepCell{"mshrs/" + pol.Name(), fmt.Sprintf("%d", m), sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationReplacement compares cache replacement policies under both
 // the baseline and IDIO: SRRIP's scan-resistant insertion changes how
 // fast dead DMA data ages out of the LLC relative to true LRU.
 func AblationReplacement(opts AblationOpts) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, repl := range []cache.Policy{cache.LRU, cache.SRRIP} {
 			sp := opts.spec(pol)
 			repl := repl
 			sp.ReplPolicy = &repl
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("repl/"+pol.Name(), repl.String(), c))
+			cells = append(cells, sweepCell{"repl/" + pol.Name(), repl.String(), sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationInclusion compares the two non-inclusive LLC behaviours:
@@ -184,7 +196,7 @@ func AblationReplacement(opts AblationOpts) []AblationRow {
 // effective on-chip capacity for streaming DMA data but absorbs MLC
 // writebacks in place.
 func AblationInclusion(opts AblationOpts) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, retain := range []bool{false, true} {
 			sp := opts.spec(pol)
@@ -193,11 +205,10 @@ func AblationInclusion(opts AblationOpts) []AblationRow {
 			if retain {
 				name = "nine"
 			}
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("inclusion/"+pol.Name(), name, c))
+			cells = append(cells, sweepCell{"inclusion/" + pol.Name(), name, sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationFrameSize sweeps the packet size under both policies. Small
@@ -206,16 +217,15 @@ func AblationInclusion(opts AblationOpts) []AblationRow {
 // IDIO's payload orchestration pays off — the sweep locates that
 // crossover.
 func AblationFrameSize(opts AblationOpts, sizes []int) []AblationRow {
-	var rows []AblationRow
+	var cells []sweepCell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
 		for _, fs := range sizes {
 			sp := opts.spec(pol)
 			sp.FrameLen = fs
-			c := runBurstCell(sp, opts.RateGbps, opts.Horizon)
-			rows = append(rows, summarise("frame/"+pol.Name(), fmt.Sprintf("%dB", fs), c))
+			cells = append(cells, sweepCell{"frame/" + pol.Name(), fmt.Sprintf("%dB", fs), sp})
 		}
 	}
-	return rows
+	return runSweep(opts, cells)
 }
 
 // AblationAdaptivePrefetch compares three prefetch regulators at the
@@ -227,15 +237,12 @@ func AblationFrameSize(opts AblationOpts, sizes []int) []AblationRow {
 //     future work, layered on the unregulated Static policy so the
 //     throttle is the only regulator.
 func AblationAdaptivePrefetch(opts AblationOpts) []AblationRow {
-	var rows []AblationRow
-	static := opts.spec(idiocore.PolicyStatic)
-	rows = append(rows, summarise("pfRegulator", "none", runBurstCell(static, opts.RateGbps, opts.Horizon)))
-
-	fsm := opts.spec(idiocore.PolicyIDIO)
-	rows = append(rows, summarise("pfRegulator", "fsm", runBurstCell(fsm, opts.RateGbps, opts.Horizon)))
-
 	adaptive := opts.spec(idiocore.PolicyStatic)
 	adaptive.AdaptivePrefetch = true
-	rows = append(rows, summarise("pfRegulator", "adaptive", runBurstCell(adaptive, opts.RateGbps, opts.Horizon)))
-	return rows
+	cells := []sweepCell{
+		{"pfRegulator", "none", opts.spec(idiocore.PolicyStatic)},
+		{"pfRegulator", "fsm", opts.spec(idiocore.PolicyIDIO)},
+		{"pfRegulator", "adaptive", adaptive},
+	}
+	return runSweep(opts, cells)
 }

@@ -68,11 +68,19 @@ func Baselines(opts AblationOpts) []BaselineRow {
 		return row
 	}
 	cfg := idiocore.DefaultWayTunerConfig()
-	return []BaselineRow{
-		run("DDIO(static 2-way)", idiocore.PolicyDDIO, nil),
-		run("DynamicWays(2..4)", idiocore.PolicyDDIO, &cfg),
-		run("IDIO", idiocore.PolicyIDIO, nil),
+	type cell struct {
+		name  string
+		pol   idiocore.Policy
+		tuner *idiocore.WayTunerConfig
 	}
+	cells := []cell{
+		{"DDIO(static 2-way)", idiocore.PolicyDDIO, nil},
+		{"DynamicWays(2..4)", idiocore.PolicyDDIO, &cfg},
+		{"IDIO", idiocore.PolicyIDIO, nil},
+	}
+	return RunCells(opts.Parallelism, cells, func(c cell) BaselineRow {
+		return run(c.name, c.pol, c.tuner)
+	})
 }
 
 // DefaultBaselineOpts runs the comparison at the rate where DMA leaks

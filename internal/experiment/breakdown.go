@@ -47,6 +47,9 @@ type BreakdownOpts struct {
 	Horizon  sim.Duration
 	MLCSize  int
 	LLCSize  int
+	// Parallelism bounds the worker pool running the two policies
+	// (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultBreakdownOpts uses the 25 Gbps burst where the paper's tail
@@ -57,8 +60,8 @@ func DefaultBreakdownOpts() BreakdownOpts {
 
 // Breakdown runs both policies with tracing enabled.
 func Breakdown(opts BreakdownOpts) []BreakdownRow {
-	var rows []BreakdownRow
-	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+	pols := []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO}
+	return RunCells(opts.Parallelism, pols, func(pol idiocore.Policy) BreakdownRow {
 		spec := DefaultSpec(pol)
 		spec.RingSize = opts.RingSize
 		spec.MLCSize = opts.MLCSize
@@ -80,7 +83,7 @@ func Breakdown(opts BreakdownOpts) []BreakdownRow {
 				total.Record(rec.Total())
 			}
 		}
-		rows = append(rows, BreakdownRow{
+		return BreakdownRow{
 			Policy:      pol.Name(),
 			NotifyP50US: notify.P50().Microseconds(),
 			QueueP50US:  queue.P50().Microseconds(),
@@ -88,7 +91,6 @@ func Breakdown(opts BreakdownOpts) []BreakdownRow {
 			QueueP99US:  queue.P99().Microseconds(),
 			ServP99US:   serv.P99().Microseconds(),
 			TotalP99US:  total.P99().Microseconds(),
-		})
-	}
-	return rows
+		}
+	})
 }

@@ -52,6 +52,9 @@ type DegradationOpts struct {
 	// MLCSize/LLCSize scale the caches for reduced-size runs.
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running independent sweep
+	// cells (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultDegradationOpts sweeps three fault rates spanning "noisy
@@ -96,38 +99,48 @@ func faultConfigFor(rate float64, seed int64) *fault.Config {
 // latency and writeback inflation. Every run arms the watchdog so a
 // fault-induced livelock surfaces as a structured abort, not a hang.
 func Degradation(opts DegradationOpts) []DegradationRow {
-	var rows []DegradationRow
+	// Every (policy, rate) point is an independent cell; the per-policy
+	// zero-fault baseline (cell 0 of each policy block) supplies the
+	// WBInflation denominator once all cells return.
+	type cell struct {
+		pol  idiocore.Policy
+		rate float64
+	}
+	perPol := 1 + len(opts.Rates)
+	var cells []cell
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
-		var baseWB uint64
 		for _, rate := range append([]float64{0}, opts.Rates...) {
-			sp := DefaultSpec(pol)
-			sp.RingSize = opts.RingSize
-			sp.MLCSize = opts.MLCSize
-			sp.LLCSize = opts.LLCSize
-			sp.Faults = faultConfigFor(rate, opts.Seed)
-			wd := sim.DefaultWatchdogConfig()
-			sp.Watchdog = &wd
-
-			b := Build(sp)
-			b.InstallBurst(opts.RateGbps, sp.RingSize, 1)
-			res := b.RunBurstToCompletion(opts.Horizon)
-
-			if rate == 0 {
-				baseWB = res.Hier.MLCWriteback
-			}
-			rows = append(rows, DegradationRow{
-				Policy:         pol,
-				Rate:           rate,
-				Processed:      res.TotalProcessed(),
-				Drops:          res.NIC.RxDrops + res.NIC.PoolDrops + res.NIC.LinkDownDrops + res.NIC.MisSteers,
-				P99US:          res.P99Across().Microseconds(),
-				MLCWB:          res.Hier.MLCWriteback,
-				WBInflation:    ratio(float64(res.Hier.MLCWriteback), float64(baseWB)),
-				FaultsInjected: res.Faults.Total(),
-				MisSteers:      res.CtrlMisSteers,
-				Aborted:        res.Aborted != nil,
-			})
+			cells = append(cells, cell{pol: pol, rate: rate})
 		}
+	}
+	rows := RunCells(opts.Parallelism, cells, func(c cell) DegradationRow {
+		sp := DefaultSpec(c.pol)
+		sp.RingSize = opts.RingSize
+		sp.MLCSize = opts.MLCSize
+		sp.LLCSize = opts.LLCSize
+		sp.Faults = faultConfigFor(c.rate, opts.Seed)
+		wd := sim.DefaultWatchdogConfig()
+		sp.Watchdog = &wd
+
+		b := Build(sp)
+		b.InstallBurst(opts.RateGbps, sp.RingSize, 1)
+		res := b.RunBurstToCompletion(opts.Horizon)
+
+		return DegradationRow{
+			Policy:         c.pol,
+			Rate:           c.rate,
+			Processed:      res.TotalProcessed(),
+			Drops:          res.NIC.RxDrops + res.NIC.PoolDrops + res.NIC.LinkDownDrops + res.NIC.MisSteers,
+			P99US:          res.P99Across().Microseconds(),
+			MLCWB:          res.Hier.MLCWriteback,
+			FaultsInjected: res.Faults.Total(),
+			MisSteers:      res.CtrlMisSteers,
+			Aborted:        res.Aborted != nil,
+		}
+	})
+	for i := range rows {
+		baseWB := rows[(i/perPol)*perPol].MLCWB
+		rows[i].WBInflation = ratio(float64(rows[i].MLCWB), float64(baseWB))
 	}
 	return rows
 }

@@ -34,6 +34,10 @@ type Fig10Opts struct {
 	// MLCSize/LLCSize scale the caches for reduced-size runs.
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running independent cells
+	// (0 = GOMAXPROCS, 1 = serial). Results are independent of the
+	// setting.
+	Parallelism int
 }
 
 // DefaultFig10Opts reproduces Fig. 10: 100/25/10 Gbps, Static and
@@ -47,7 +51,10 @@ func DefaultFig10Opts() Fig10Opts {
 	}
 }
 
-// Fig10 runs the normalized comparison.
+// Fig10 runs the normalized comparison. Every raw run — including the
+// per-rate DDIO baselines the other cells normalize against — is an
+// independent cell, so the whole grid fans out at once; normalization
+// happens afterwards over the index-addressed results.
 func Fig10(opts Fig10Opts) []Fig10Row {
 	spec := func(pol idiocore.Policy, antagonist bool) Spec {
 		sp := DefaultSpec(pol)
@@ -57,16 +64,39 @@ func Fig10(opts Fig10Opts) []Fig10Row {
 		sp.Antagonist = antagonist
 		return sp
 	}
-	var rows []Fig10Row
+	type cell struct {
+		rate       float64
+		pol        idiocore.Policy
+		antagonist bool
+	}
+	perRate := 3 // DDIO base, Static, IDIO
+	if opts.CoRun {
+		perRate = 5 // + DDIO+ant base, IDIO+ant
+	}
+	var cells []cell
 	for _, rate := range opts.Rates {
-		base := runBurstCell(spec(idiocore.PolicyDDIO, false), rate, opts.Horizon).Summary
-		for _, pol := range []idiocore.Policy{idiocore.PolicyStatic, idiocore.PolicyIDIO} {
-			s := runBurstCell(spec(pol, false), rate, opts.Horizon).Summary
-			rows = append(rows, normalize(pol.Name(), rate, s, base))
-		}
+		cells = append(cells,
+			cell{rate, idiocore.PolicyDDIO, false},
+			cell{rate, idiocore.PolicyStatic, false},
+			cell{rate, idiocore.PolicyIDIO, false})
 		if opts.CoRun {
-			baseCo := runBurstCell(spec(idiocore.PolicyDDIO, true), rate, opts.Horizon).Summary
-			co := runBurstCell(spec(idiocore.PolicyIDIO, true), rate, opts.Horizon).Summary
+			cells = append(cells,
+				cell{rate, idiocore.PolicyDDIO, true},
+				cell{rate, idiocore.PolicyIDIO, true})
+		}
+	}
+	sums := RunCells(opts.Parallelism, cells, func(c cell) BurstSummary {
+		return runBurstCell(spec(c.pol, c.antagonist), c.rate, opts.Horizon).Summary
+	})
+	var rows []Fig10Row
+	for ri, rate := range opts.Rates {
+		s := sums[ri*perRate:]
+		base := s[0]
+		rows = append(rows,
+			normalize(idiocore.PolicyStatic.Name(), rate, s[1], base),
+			normalize(idiocore.PolicyIDIO.Name(), rate, s[2], base))
+		if opts.CoRun {
+			baseCo, co := s[3], s[4]
 			row := normalize("IDIO+Antagonist", rate, co, baseCo)
 			// Both runs must have exited the antagonist's warm-up
 			// window for the CPI comparison to be meaningful.

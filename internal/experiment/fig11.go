@@ -29,6 +29,9 @@ type Fig11Opts struct {
 	FrameLen  int
 	BurstGbps float64
 	Horizon   sim.Duration
+	// Parallelism bounds the worker pool running the three
+	// configurations (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultFig11Opts mirrors Fig. 11: 1024-entry rings, 1024-byte
@@ -47,29 +50,31 @@ func Fig11(opts Fig11Opts) Fig11Result {
 		return sp
 	}
 	var out Fig11Result
-	out.DDIO = runBurstCell(spec(idiocore.PolicyDDIO), opts.BurstGbps, opts.Horizon)
-	out.IDIO = runBurstCell(spec(idiocore.PolicyIDIO), opts.BurstGbps, opts.Horizon)
-
-	// Direct-DRAM variant: class-1 flows + payload-dropping app.
-	ddSpec := DefaultSpec(idiocore.PolicyIDIO)
-	ddSpec.RingSize = opts.RingSize
-	ddSpec.App = L2FwdDropPayload
-	ddSpec.FrameLen = opts.FrameLen
-	ddSpec.ClassOne = true
-	b := Build(ddSpec)
-	b.InstallBurst(opts.BurstGbps, opts.RingSize, 1)
-	res := b.RunBurstToCompletion(opts.Horizon)
-	out.DirectDRAM.Summary = BurstSummary{
-		MLCWB:      res.Hier.MLCWriteback,
-		LLCWB:      res.Hier.LLCWriteback,
-		DRAMReads:  res.DRAMReads,
-		DRAMWrites: res.DRAMWrites,
-		ExeTimeUS:  res.ExeTime.Microseconds(),
-		Processed:  res.TotalProcessed(),
-		Drops:      res.NIC.RxDrops,
-	}
-	span := res.Now.Sub(0)
-	out.DirectDRAM.RxGbps = stats.Gbps(res.NIC.RxBytes, span)
-	out.DirectDRAM.DRAMWriteGbps = stats.Gbps(res.DRAMWrites*64, span)
+	RunTasks(opts.Parallelism,
+		func() { out.DDIO = runBurstCell(spec(idiocore.PolicyDDIO), opts.BurstGbps, opts.Horizon) },
+		func() { out.IDIO = runBurstCell(spec(idiocore.PolicyIDIO), opts.BurstGbps, opts.Horizon) },
+		func() {
+			// Direct-DRAM variant: class-1 flows + payload-dropping app.
+			ddSpec := DefaultSpec(idiocore.PolicyIDIO)
+			ddSpec.RingSize = opts.RingSize
+			ddSpec.App = L2FwdDropPayload
+			ddSpec.FrameLen = opts.FrameLen
+			ddSpec.ClassOne = true
+			b := Build(ddSpec)
+			b.InstallBurst(opts.BurstGbps, opts.RingSize, 1)
+			res := b.RunBurstToCompletion(opts.Horizon)
+			out.DirectDRAM.Summary = BurstSummary{
+				MLCWB:      res.Hier.MLCWriteback,
+				LLCWB:      res.Hier.LLCWriteback,
+				DRAMReads:  res.DRAMReads,
+				DRAMWrites: res.DRAMWrites,
+				ExeTimeUS:  res.ExeTime.Microseconds(),
+				Processed:  res.TotalProcessed(),
+				Drops:      res.NIC.RxDrops,
+			}
+			span := res.Now.Sub(0)
+			out.DirectDRAM.RxGbps = stats.Gbps(res.NIC.RxBytes, span)
+			out.DirectDRAM.DRAMWriteGbps = stats.Gbps(res.DRAMWrites*64, span)
+		})
 	return out
 }

@@ -25,6 +25,9 @@ type Fig12Opts struct {
 	RingSize int
 	Rates    []float64
 	Horizon  sim.Duration
+	// Parallelism bounds the worker pool running independent cells
+	// (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultFig12Opts mirrors Fig. 12: 1514-byte packets, 1024-entry
@@ -33,7 +36,9 @@ func DefaultFig12Opts() Fig12Opts {
 	return Fig12Opts{RingSize: 1024, Rates: []float64{100, 25, 10}, Horizon: 9 * sim.Millisecond}
 }
 
-// Fig12 runs the latency comparison.
+// Fig12 runs the latency comparison. The four raw runs per rate
+// (DDIO/IDIO × solo/co-run) are independent cells; the DDIO-solo run
+// doubles as the normalization baseline once all cells return.
 func Fig12(opts Fig12Opts) []Fig12Row {
 	spec := func(pol idiocore.Policy, antagonist bool) Spec {
 		sp := DefaultSpec(pol)
@@ -41,29 +46,45 @@ func Fig12(opts Fig12Opts) []Fig12Row {
 		sp.Antagonist = antagonist
 		return sp
 	}
-	var rows []Fig12Row
+	type cell struct {
+		rate  float64
+		pol   idiocore.Policy
+		coRun bool
+	}
+	pols := []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO}
+	var cells []cell
 	for _, rate := range opts.Rates {
-		baseSolo := runBurstCell(spec(idiocore.PolicyDDIO, false), rate, opts.Horizon).Summary
 		for _, coRun := range []bool{false, true} {
-			for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
-				if !coRun && pol == idiocore.PolicyDDIO {
-					// The normalization baseline itself: still reported
-					// as the 1.0 reference row.
-					rows = append(rows, Fig12Row{
-						RateGbps: rate, Policy: pol.Name(), CoRun: false,
-						NormP50: 1, NormP99: 1,
-						P50US: baseSolo.P50US, P99US: baseSolo.P99US,
-					})
-					continue
-				}
-				s := runBurstCell(spec(pol, coRun), rate, opts.Horizon).Summary
-				rows = append(rows, Fig12Row{
-					RateGbps: rate, Policy: pol.Name(), CoRun: coRun,
-					NormP50: ratio(s.P50US, baseSolo.P50US),
-					NormP99: ratio(s.P99US, baseSolo.P99US),
-					P50US:   s.P50US, P99US: s.P99US,
-				})
+			for _, pol := range pols {
+				cells = append(cells, cell{rate: rate, pol: pol, coRun: coRun})
 			}
+		}
+	}
+	sums := RunCells(opts.Parallelism, cells, func(c cell) BurstSummary {
+		return runBurstCell(spec(c.pol, c.coRun), c.rate, opts.Horizon).Summary
+	})
+	var rows []Fig12Row
+	for ri, rate := range opts.Rates {
+		perRate := sums[ri*4:]
+		baseSolo := perRate[0] // DDIO solo
+		for i, c := range cells[ri*4 : ri*4+4] {
+			if !c.coRun && c.pol == idiocore.PolicyDDIO {
+				// The normalization baseline itself: still reported
+				// as the 1.0 reference row.
+				rows = append(rows, Fig12Row{
+					RateGbps: rate, Policy: c.pol.Name(), CoRun: false,
+					NormP50: 1, NormP99: 1,
+					P50US: baseSolo.P50US, P99US: baseSolo.P99US,
+				})
+				continue
+			}
+			s := perRate[i]
+			rows = append(rows, Fig12Row{
+				RateGbps: rate, Policy: c.pol.Name(), CoRun: c.coRun,
+				NormP50: ratio(s.P50US, baseSolo.P50US),
+				NormP99: ratio(s.P99US, baseSolo.P99US),
+				P50US:   s.P50US, P99US: s.P99US,
+			})
 		}
 	}
 	return rows

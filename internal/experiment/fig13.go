@@ -30,6 +30,9 @@ type Fig13Opts struct {
 	// MLCSize/LLCSize scale the caches for reduced-size runs.
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running the two policies
+	// (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultFig13Opts mirrors Fig. 13: 10 Gbps per TouchDrop. The paper
@@ -39,7 +42,7 @@ func DefaultFig13Opts() Fig13Opts {
 	return Fig13Opts{RingSize: 1024, Gbps: 10, Packets: 8192, Horizon: 40 * sim.Millisecond}
 }
 
-// Fig13 runs both policies.
+// Fig13 runs both policies concurrently.
 func Fig13(opts Fig13Opts) Fig13Result {
 	run := func(pol idiocore.Policy) Fig13Run {
 		spec := DefaultSpec(pol)
@@ -66,5 +69,9 @@ func Fig13(opts Fig13Opts) Fig13Result {
 			RxPackets: res.NIC.RxPackets,
 		}
 	}
-	return Fig13Result{DDIO: run(idiocore.PolicyDDIO), IDIO: run(idiocore.PolicyIDIO)}
+	var out Fig13Result
+	RunTasks(opts.Parallelism,
+		func() { out.DDIO = run(idiocore.PolicyDDIO) },
+		func() { out.IDIO = run(idiocore.PolicyIDIO) })
+	return out
 }

@@ -28,6 +28,9 @@ type Fig14Opts struct {
 	// MLCSize/LLCSize scale the caches for reduced-size runs.
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running independent sweep
+	// points (0 = GOMAXPROCS, 1 = serial).
+	Parallelism int
 }
 
 // DefaultFig14Opts mirrors Fig. 14: mlcTHR from 10 to 100 MTPS at the
@@ -52,10 +55,24 @@ func Fig14(opts Fig14Opts) []Fig14Row {
 		sp.MLCTHR = thr
 		return sp
 	}
-	base := runBurstCell(spec(idiocore.PolicyDDIO, 0), opts.RateGbps, opts.Horizon).Summary
-	var rows []Fig14Row
+	// Cell 0 is the DDIO baseline; cells 1..n are the IDIO sweep
+	// points. All fan out together; normalization follows.
+	type cell struct {
+		pol idiocore.Policy
+		thr uint64
+	}
+	cells := make([]cell, 0, len(opts.THRs)+1)
+	cells = append(cells, cell{pol: idiocore.PolicyDDIO})
 	for _, thr := range opts.THRs {
-		s := runBurstCell(spec(idiocore.PolicyIDIO, thr), opts.RateGbps, opts.Horizon).Summary
+		cells = append(cells, cell{pol: idiocore.PolicyIDIO, thr: thr})
+	}
+	sums := RunCells(opts.Parallelism, cells, func(c cell) BurstSummary {
+		return runBurstCell(spec(c.pol, c.thr), opts.RateGbps, opts.Horizon).Summary
+	})
+	base := sums[0]
+	var rows []Fig14Row
+	for i, thr := range opts.THRs {
+		s := sums[i+1]
 		rows = append(rows, Fig14Row{
 			THRMTPS:     thr,
 			NormMLCWB:   ratio(float64(s.MLCWB), float64(base.MLCWB)),

@@ -44,6 +44,10 @@ type Fig4Opts struct {
 	// MLCSize/LLCSize scale the caches for reduced-size runs.
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running independent sweep
+	// cells (0 = GOMAXPROCS, 1 = serial). Results are independent of
+	// the setting.
+	Parallelism int
 }
 
 // DefaultFig4Opts reproduces the figure's sweep. The paper's loads are
@@ -63,23 +67,32 @@ func DefaultFig4Opts() Fig4Opts {
 	}
 }
 
+// fig4Cell names one sweep point.
+type fig4Cell struct {
+	ring   int
+	load   string
+	gbps   float64
+	oneWay bool
+}
+
 // Fig4 runs the sweep and returns rows ordered ring-major.
 func Fig4(opts Fig4Opts) []Fig4Row {
-	var rows []Fig4Row
+	var cells []fig4Cell
 	for _, ring := range opts.Rings {
 		for _, load := range []string{"low", "med", "high"} {
 			gbps, ok := opts.Loads[load]
 			if !ok {
 				continue
 			}
-			rows = append(rows, fig4Point(opts, ring, load, gbps, false))
+			cells = append(cells, fig4Cell{ring: ring, load: load, gbps: gbps})
 		}
 	}
 	for _, ring := range opts.OneWayRings {
-		gbps := opts.Loads["high"]
-		rows = append(rows, fig4Point(opts, ring, "high", gbps, true))
+		cells = append(cells, fig4Cell{ring: ring, load: "high", gbps: opts.Loads["high"], oneWay: true})
 	}
-	return rows
+	return RunCells(opts.Parallelism, cells, func(c fig4Cell) Fig4Row {
+		return fig4Point(opts, c.ring, c.load, c.gbps, c.oneWay)
+	})
 }
 
 func fig4Point(opts Fig4Opts, ring int, load string, gbps float64, oneWay bool) Fig4Row {

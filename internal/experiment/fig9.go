@@ -45,6 +45,10 @@ type Fig9Opts struct {
 	// the paper's geometry).
 	MLCSize int
 	LLCSize int
+	// Parallelism bounds the worker pool running independent grid
+	// cells (0 = GOMAXPROCS, 1 = serial). Results are independent of
+	// the setting.
+	Parallelism int
 }
 
 // DefaultFig9Opts reproduces Fig. 9: {DDIO, Invalidate, Prefetch,
@@ -61,19 +65,26 @@ func DefaultFig9Opts() Fig9Opts {
 	}
 }
 
-// Fig9 runs the full grid.
+// Fig9 runs the full grid, fanning the independent (rate, policy)
+// cells out over the worker pool.
 func Fig9(opts Fig9Opts) []Fig9Cell {
-	var cells []Fig9Cell
+	type point struct {
+		rate float64
+		pol  idiocore.Policy
+	}
+	var grid []point
 	for _, rate := range opts.Rates {
 		for _, pol := range opts.Policies {
-			spec := DefaultSpec(pol)
-			spec.RingSize = opts.RingSize
-			spec.MLCSize = opts.MLCSize
-			spec.LLCSize = opts.LLCSize
-			cells = append(cells, runBurstCell(spec, rate, opts.Horizon))
+			grid = append(grid, point{rate: rate, pol: pol})
 		}
 	}
-	return cells
+	return RunCells(opts.Parallelism, grid, func(p point) Fig9Cell {
+		spec := DefaultSpec(p.pol)
+		spec.RingSize = opts.RingSize
+		spec.MLCSize = opts.MLCSize
+		spec.LLCSize = opts.LLCSize
+		return runBurstCell(spec, p.rate, opts.Horizon)
+	})
 }
 
 // runBurstCell runs one burst to completion for one scenario. It is

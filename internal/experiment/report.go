@@ -12,6 +12,10 @@ import (
 type ReportOpts struct {
 	// Quick shrinks every experiment to the 256-entry-ring scale.
 	Quick bool
+	// Parallelism bounds each experiment's worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Per-cell results are independent
+	// of this value; only wall-clock time changes.
+	Parallelism int
 }
 
 // WriteReport regenerates the full evaluation — every paper figure,
@@ -39,6 +43,7 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 4.
 	f4 := DefaultFig4Opts()
+	f4.Parallelism = opts.Parallelism
 	if opts.Quick {
 		f4.Rings = []int{64, 256}
 		f4.OneWayRings = []int{256}
@@ -50,6 +55,7 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 9.
 	f9 := DefaultFig9Opts()
+	f9.Parallelism = opts.Parallelism
 	scale(&f9.RingSize, &f9.MLCSize, &f9.LLCSize)
 	cells := Fig9(f9)
 	rw.h2("Fig. 9 — per-mechanism burst comparison (2x TouchDrop)")
@@ -61,12 +67,14 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 10.
 	f10 := DefaultFig10Opts()
+	f10.Parallelism = opts.Parallelism
 	scale(&f10.RingSize, &f10.MLCSize, &f10.LLCSize)
 	rw.h2("Fig. 10 — Static/IDIO normalized to DDIO (lower is better)")
 	rw.table(Fig10Header(), Rows(Fig10(f10)))
 
 	// Fig. 11.
 	f11 := DefaultFig11Opts()
+	f11.Parallelism = opts.Parallelism
 	if opts.Quick {
 		f11.RingSize = 256
 	}
@@ -81,6 +89,7 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 12.
 	f12 := DefaultFig12Opts()
+	f12.Parallelism = opts.Parallelism
 	if opts.Quick {
 		f12.RingSize = 256
 	}
@@ -89,6 +98,7 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 13.
 	f13 := DefaultFig13Opts()
+	f13.Parallelism = opts.Parallelism
 	scale(&f13.RingSize, &f13.MLCSize, &f13.LLCSize)
 	if opts.Quick {
 		f13.Packets = 2048
@@ -101,24 +111,28 @@ func WriteReport(w io.Writer, opts ReportOpts) error {
 
 	// Fig. 14.
 	f14 := DefaultFig14Opts()
+	f14.Parallelism = opts.Parallelism
 	scale(&f14.RingSize, &f14.MLCSize, &f14.LLCSize)
 	rw.h2("Fig. 14 — mlcTHR sensitivity at 100 Gbps (normalized to DDIO)")
 	rw.table(Fig14Header(), Rows(Fig14(f14)))
 
 	// Breakdown.
 	bo := DefaultBreakdownOpts()
+	bo.Parallelism = opts.Parallelism
 	scale(&bo.RingSize, &bo.MLCSize, &bo.LLCSize)
 	rw.h2("Latency breakdown (µs)")
 	rw.table(BreakdownHeader(), Rows(Breakdown(bo)))
 
 	// Baselines.
 	base := DefaultBaselineOpts()
+	base.Parallelism = opts.Parallelism
 	scale(&base.RingSize, &base.MLCSize, &base.LLCSize)
 	rw.h2("Baselines — static DDIO vs IAT-style dynamic ways vs IDIO (100 Gbps)")
 	rw.table(BaselineHeader(), Rows(Baselines(base)))
 
 	// Ablations.
 	ao := DefaultAblationOpts()
+	ao.Parallelism = opts.Parallelism
 	scale(&ao.RingSize, &ao.MLCSize, &ao.LLCSize)
 	hot := ao
 	hot.RateGbps = 100

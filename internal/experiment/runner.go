@@ -1,0 +1,72 @@
+package experiment
+
+// The experiment grids are embarrassingly parallel: every cell builds
+// its own *idio.System, owns its own simulator and seeded RNGs, and
+// shares nothing with its neighbours. RunCells fans a grid out over a
+// bounded worker pool while keeping results index-addressed, so the
+// output ordering — and, because each cell is deterministic in
+// isolation, the output content — is byte-identical to a serial run at
+// any parallelism level.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells runs fn over every cell and returns the results in cell
+// order. parallelism bounds the worker count: 0 (the usual zero value
+// of an options struct) means GOMAXPROCS, 1 forces the serial path,
+// and values above the cell count are clamped. fn must not touch
+// shared mutable state; every figure cell satisfies this because Build
+// constructs a private system per cell.
+func RunCells[T, R any](parallelism int, cells []T, fn func(T) R) []R {
+	out := make([]R, len(cells))
+	p := workers(parallelism, len(cells))
+	if p <= 1 {
+		for i := range cells {
+			out[i] = fn(cells[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				out[i] = fn(cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunTasks runs heterogeneous closures (each writing its own disjoint
+// destination) under the same pool bound. It is the fan-out for
+// figures whose "grid" is a handful of differently-shaped runs
+// (Fig. 11's three configurations, Fig. 13's two policies).
+func RunTasks(parallelism int, tasks ...func()) {
+	RunCells(parallelism, tasks, func(t func()) struct{} {
+		t()
+		return struct{}{}
+	})
+}
+
+// workers resolves a Parallelism option against the cell count.
+func workers(parallelism, cells int) int {
+	p := parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > cells {
+		p = cells
+	}
+	return p
+}

@@ -67,6 +67,20 @@ func BenchmarkPrefetchToMLC(b *testing.B) {
 	}
 }
 
+func BenchmarkInvalidateNoWBEnforced(b *testing.B) {
+	// Measures the PTE-bit lookup on the enforcement path: every
+	// InvalidateNoWB consults the invalidatable set (a struct{}-valued
+	// membership map) before dropping the line.
+	h := benchHier(b)
+	region := mem.Region{Base: 0, Size: 64 * 4096}
+	h.RegisterInvalidatable(region)
+	h.EnforceInvalidatable(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.InvalidateNoWB(0, 0, mem.LineAddr(i%4096))
+	}
+}
+
 func BenchmarkMixedRandomOps(b *testing.B) {
 	h := benchHier(b)
 	rng := rand.New(rand.NewSource(1))

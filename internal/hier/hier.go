@@ -194,7 +194,7 @@ type Hierarchy struct {
 	MLCInvTL *stats.Timeline
 	DMAReqTL *stats.Timeline
 
-	invalidatable map[mem.LineAddr]bool // pages registered as Invalidatable (Sec. V-D)
+	invalidatable map[mem.LineAddr]struct{} // pages registered as Invalidatable (Sec. V-D)
 	invalCheck    bool
 }
 
@@ -563,9 +563,9 @@ func (h *Hierarchy) allocLLCVictimEgress(now sim.Time, core int, la uint64, dirt
 // class the paper describes.
 func (h *Hierarchy) RegisterInvalidatable(r mem.Region) {
 	if h.invalidatable == nil {
-		h.invalidatable = make(map[mem.LineAddr]bool)
+		h.invalidatable = make(map[mem.LineAddr]struct{})
 	}
-	r.Lines(func(l mem.LineAddr) { h.invalidatable[l] = true })
+	r.Lines(func(l mem.LineAddr) { h.invalidatable[l] = struct{}{} })
 }
 
 // EnforceInvalidatable turns on PTE-bit checking for InvalidateNoWB.
@@ -576,8 +576,10 @@ func (h *Hierarchy) EnforceInvalidatable(on bool) { h.invalCheck = on }
 // maintenance instruction of Sec. IV-A / V-D.
 func (h *Hierarchy) InvalidateNoWB(now sim.Time, core int, line mem.LineAddr) {
 	la := uint64(line)
-	if h.invalCheck && !h.invalidatable[line] {
-		panic(fmt.Sprintf("hier: InvalidateNoWB on non-Invalidatable line %v", line))
+	if h.invalCheck {
+		if _, ok := h.invalidatable[line]; !ok {
+			panic(fmt.Sprintf("hier: InvalidateNoWB on non-Invalidatable line %v", line))
+		}
 	}
 	dropped := false
 	if p, _ := h.l1[core].Invalidate(la); p {

@@ -1,0 +1,132 @@
+package sim
+
+// Micro-benchmarks for the event kernel's hot path. A full figure run
+// processes ~10M events, so push/pop cost and per-event allocation
+// bound the whole simulator. The steady-state benchmarks must report
+// 0 allocs/op: events are stored by value in the queue's backing
+// array, which is reused across RunUntil segments.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSchedule measures the raw push cost into a queue at its
+// steady-state depth (events are drained block-wise so the backing
+// array never grows once warm). One op = one scheduled event.
+func BenchmarkSchedule(b *testing.B) {
+	s := New()
+	fn := func(*Simulator) {}
+	const block = 1024
+	// Warm the backing array to its steady-state capacity.
+	for i := 0; i < block; i++ {
+		s.At(s.Now().Add(Duration(i&63)*Nanosecond), fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += block {
+		base := s.Now()
+		for i := 0; i < block; i++ {
+			s.At(base.Add(Duration(i&63)*Nanosecond), fn)
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkRunUntil measures the full schedule-pop-execute cycle: 64
+// self-rescheduling periodic events advanced one period per op. This
+// is the simulator's steady state (periodic control-plane tasks plus
+// in-flight packet events) and must be allocation-free.
+func BenchmarkRunUntil(b *testing.B) {
+	s := New()
+	const tickers = 64
+	var tick Event
+	tick = func(sm *Simulator) { sm.After(Microsecond, tick) }
+	for i := 0; i < tickers; i++ {
+		s.At(Time(i), tick)
+	}
+	s.RunUntil(s.Now().Add(4 * Microsecond)) // reach steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(s.Now().Add(1 * Microsecond))
+	}
+}
+
+// BenchmarkScheduleDeep exercises push/pop against a deep queue
+// (64k pending events), the regime where heap arity matters.
+func BenchmarkScheduleDeep(b *testing.B) {
+	s := New()
+	fn := func(*Simulator) {}
+	rng := rand.New(rand.NewSource(1))
+	const depth = 1 << 16
+	offsets := make([]Duration, depth)
+	for i := range offsets {
+		offsets[i] = Duration(rng.Intn(1<<20)) * Picosecond
+	}
+	for i := 0; i < depth; i++ {
+		s.At(s.Now().Add(offsets[i]), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Replace the queue head: one pop, one push, depth constant.
+		e := s.events.pop()
+		s.events.push(schedEvent{at: e.at + Time(offsets[i&(depth-1)]), seq: e.seq, fn: fn})
+	}
+}
+
+// TestEventQueueHeapOrder cross-checks the 4-ary heap against a
+// reference sort over random schedules, including heavy same-instant
+// ties (the FIFO case the simulator depends on).
+func TestEventQueueHeapOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		var q eventQueue
+		n := rng.Intn(500) + 1
+		for i := 0; i < n; i++ {
+			q.push(schedEvent{at: Time(rng.Intn(16)), seq: uint64(i)})
+		}
+		var prev schedEvent
+		for i := 0; i < n; i++ {
+			e := q.pop()
+			if i > 0 && lessEv(e, prev) {
+				t.Fatalf("trial %d: pop %d out of order: %+v after %+v", trial, i, e, prev)
+			}
+			prev = e
+		}
+		if len(q) != 0 {
+			t.Fatalf("queue not drained: %d left", len(q))
+		}
+	}
+}
+
+// TestEventQueueInterleaved pushes and pops in random interleavings and
+// checks the popped sequence is always the global minimum remaining.
+func TestEventQueueInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	pending := map[uint64]Time{}
+	seq := uint64(0)
+	for op := 0; op < 5000; op++ {
+		if len(q) == 0 || rng.Intn(2) == 0 {
+			at := Time(rng.Intn(1000))
+			seq++
+			q.push(schedEvent{at: at, seq: seq})
+			pending[seq] = at
+		} else {
+			e := q.pop()
+			want, ok := pending[e.seq]
+			if !ok || want != e.at {
+				t.Fatalf("popped unknown event %+v", e)
+			}
+			for s2, at := range pending {
+				if at < e.at || (at == e.at && s2 < e.seq) {
+					t.Fatalf("popped %+v but %d@%d was smaller", e, s2, at)
+				}
+			}
+			delete(pending, e.seq)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Benchmark baseline runner: benchmarks the figure harness (repo root),
+# the event kernel (internal/sim) and the cache hierarchy
+# (internal/hier) with allocation stats, then condenses the raw stream
+# into BENCH_sim.json (benchmark name -> averaged ns/op, B/op,
+# allocs/op and custom metrics) via cmd/benchjson.
+#
+#   COUNT=5 OUT=after.json scripts/bench.sh      # override repetitions/output
+#
+# The raw `go test` output is kept next to the JSON for eyeballing.
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_sim.json}"
+RAW="${RAW:-${OUT%.json}.txt}"
+
+go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier | tee "$RAW"
+go run ./cmd/benchjson -o "$OUT" "$RAW"
