@@ -9,6 +9,11 @@
 //	idiosim -exp verify                   # PASS/FAIL reproduction claims
 //	idiosim -report report.md             # full markdown report
 //	idiosim -scenario s.json -stats s.txt # custom JSON scenario + stats dump
+//	idiosim -scenario s.json -json r.json # schema-versioned metrics JSON
+//	idiosim -scenario s.json -trace t.json -trace-sample 8
+//	                                      # Chrome/Perfetto packet-journey trace
+//	idiosim -scenario s.json -metrics-interval 10us -metrics m.csv
+//	                                      # periodic metric snapshots as CSV
 //	idiosim -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"idio/internal/experiment"
+	"idio/internal/obs"
 	"idio/internal/scenario"
 	"idio/internal/sim"
 )
@@ -44,6 +50,11 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	scenarioPath := flag.String("scenario", "", "run a JSON scenario file instead of a named experiment")
 	statsPath := flag.String("stats", "", "write a flat key=value stats dump for -scenario runs")
+	jsonPath := flag.String("json", "", "write schema-versioned metrics JSON for -scenario runs ('-' for stdout)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) packet journey for -scenario runs")
+	traceSample := flag.Int("trace-sample", 1, "with -trace, follow every Nth packet")
+	metricsInterval := flag.Duration("metrics-interval", 0, "record metric-registry snapshots at this period for -scenario runs (e.g. 10us)")
+	metricsPath := flag.String("metrics", "", "write the -metrics-interval snapshot series as CSV ('-' for stdout)")
 	reportPath := flag.String("report", "", "regenerate everything and write a markdown report to this path")
 	flag.Parse()
 
@@ -69,7 +80,15 @@ func main() {
 		}
 	}
 	if *scenarioPath != "" {
-		if err := runScenario(*scenarioPath, *statsPath); err != nil {
+		opts := scenarioOpts{
+			statsPath:       *statsPath,
+			jsonPath:        *jsonPath,
+			tracePath:       *tracePath,
+			traceSample:     *traceSample,
+			metricsInterval: *metricsInterval,
+			metricsPath:     *metricsPath,
+		}
+		if err := runScenario(*scenarioPath, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -337,9 +356,20 @@ func (r *runner) csv(name string, series ...experiment.Series) error {
 	return experiment.WriteSeriesCSV(f, series...)
 }
 
+// scenarioOpts bundles the -scenario output flags.
+type scenarioOpts struct {
+	statsPath       string
+	jsonPath        string
+	tracePath       string
+	traceSample     int
+	metricsInterval time.Duration
+	metricsPath     string
+}
+
 // runScenario executes a JSON scenario file and prints its summary,
-// optionally writing a flat stats dump.
-func runScenario(path, statsPath string) error {
+// optionally writing a flat stats dump, a metrics JSON document, a
+// Chrome trace, and a metric-snapshot CSV series.
+func runScenario(path string, o scenarioOpts) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -349,17 +379,41 @@ func runScenario(path, statsPath string) error {
 	if err != nil {
 		return err
 	}
-	res, cpi, err := scenario.Run(sc)
+	var ropts scenario.RunOpts
+	if o.tracePath != "" {
+		if o.traceSample <= 0 {
+			return fmt.Errorf("-trace-sample must be positive, got %d", o.traceSample)
+		}
+		tf, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		ropts.TraceSampleN = o.traceSample
+		ropts.TraceSink = obs.NewChromeSink(tf)
+	}
+	if o.metricsInterval > 0 {
+		ropts.MetricsInterval = sim.Duration(o.metricsInterval.Nanoseconds()) * sim.Nanosecond
+	} else if o.metricsPath != "" {
+		return fmt.Errorf("-metrics needs -metrics-interval > 0")
+	}
+	sys, res, cpi, err := scenario.RunSystemOpts(sc, ropts)
 	if err != nil {
 		return err
+	}
+	if ropts.TraceSink != nil {
+		if err := sys.Observe().CloseSink(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[%d trace events written to %s]\n",
+			sys.Observe().EventsEmitted(), o.tracePath)
 	}
 	fmt.Printf("== scenario %q (%s) ==\n", sc.Name, sc.Policy)
 	fmt.Print(res)
 	if cpi > 0 {
 		fmt.Printf("  antagonist CPI: %.1f\n", cpi)
 	}
-	if statsPath != "" {
-		sf, err := os.Create(statsPath)
+	if o.statsPath != "" {
+		sf, err := os.Create(o.statsPath)
 		if err != nil {
 			return err
 		}
@@ -367,8 +421,38 @@ func runScenario(path, statsPath string) error {
 		if err := res.WriteStats(sf); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "[stats written to %s]\n", statsPath)
+		fmt.Fprintf(os.Stderr, "[stats written to %s]\n", o.statsPath)
 	}
+	if o.jsonPath != "" {
+		if err := writeTo(o.jsonPath, res.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if o.metricsPath != "" {
+		if err := writeTo(o.metricsPath, res.MetricSeries.WriteCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo runs emit against the named file, or stdout for "-".
+func writeTo(path string, emit func(io.Writer) error) error {
+	if path == "-" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[written to %s]\n", path)
 	return nil
 }
 

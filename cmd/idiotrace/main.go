@@ -1,51 +1,51 @@
 // Command idiotrace runs a JSON scenario with per-packet tracing and
-// emits one CSV row per processed packet, splitting end-to-end latency
+// emits one CSV row per traced packet, splitting end-to-end latency
 // into the notification (descriptor coalescing), queueing and service
 // stages. Useful for plotting latency CDFs and diagnosing where a
 // policy's tail comes from.
 //
+// It is a thin shell around the observability layer's CSV sink: the
+// same rows are available programmatically by running any system with
+// Config.Obs.TraceSampleN > 0 and an obs.CSVSink attached.
+//
 //	idiotrace -scenario scenarios/mixed_nfs.json -o trace.csv
+//	idiotrace -scenario scenarios/mixed_nfs.json -sample 8   # every 8th packet
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 
+	"idio/internal/obs"
 	"idio/internal/scenario"
 )
 
 func main() {
 	scenarioPath := flag.String("scenario", "", "JSON scenario file to run (required)")
 	out := flag.String("o", "-", "output CSV path ('-' for stdout)")
-	maxPackets := flag.Int("max", 65536, "per-core trace capacity")
+	sample := flag.Int("sample", 1, "trace every Nth packet")
 	flag.Parse()
 	if *scenarioPath == "" {
 		fmt.Fprintln(os.Stderr, "idiotrace: -scenario is required")
 		os.Exit(2)
 	}
-	if err := run(*scenarioPath, *out, *maxPackets); err != nil {
+	if err := run(*scenarioPath, *out, *sample); err != nil {
 		fmt.Fprintln(os.Stderr, "idiotrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenarioPath, outPath string, maxPackets int) error {
+func run(scenarioPath, outPath string, sample int) error {
+	if sample <= 0 {
+		return fmt.Errorf("-sample must be positive, got %d", sample)
+	}
 	f, err := os.Open(scenarioPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	sc, err := scenario.Load(f)
-	if err != nil {
-		return err
-	}
-	if sc.TracePackets == 0 {
-		sc.TracePackets = maxPackets
-	}
-	sys, res, _, err := scenario.RunSystem(sc)
 	if err != nil {
 		return err
 	}
@@ -56,42 +56,21 @@ func run(scenarioPath, outPath string, maxPackets int) error {
 		if err != nil {
 			return err
 		}
-		defer w.Close()
 	}
-	cw := csv.NewWriter(w)
-	defer cw.Flush()
-	if err := cw.Write([]string{
-		"core", "seq", "arrival_us", "ready_us", "start_us", "done_us",
-		"notify_us", "queue_us", "service_us", "total_us",
-	}); err != nil {
+	sys, res, _, err := scenario.RunSystemOpts(sc, scenario.RunOpts{
+		TraceSampleN: sample,
+		TraceSink:    obs.NewCSVSink(w),
+	})
+	if err != nil {
+		if outPath != "-" {
+			w.Close()
+		}
 		return err
 	}
-	rows := 0
-	for coreID, c := range sys.Cores {
-		if c == nil {
-			continue
-		}
-		for _, rec := range c.Trace {
-			row := []string{
-				strconv.Itoa(coreID),
-				strconv.FormatUint(rec.Seq, 10),
-				us(rec.Arrival.Microseconds()),
-				us(rec.Ready.Microseconds()),
-				us(rec.Start.Microseconds()),
-				us(rec.Done.Microseconds()),
-				us(rec.NotifyDelay().Microseconds()),
-				us(rec.QueueDelay().Microseconds()),
-				us(rec.ServiceTime().Microseconds()),
-				us(rec.Total().Microseconds()),
-			}
-			if err := cw.Write(row); err != nil {
-				return err
-			}
-			rows++
-		}
+	if err := sys.Observe().CloseSink(); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "[%d trace rows from %d processed packets]\n", rows, res.TotalProcessed())
+	fmt.Fprintf(os.Stderr, "[%d trace events from %d processed packets]\n",
+		sys.Observe().EventsEmitted(), res.TotalProcessed())
 	return nil
 }
-
-func us(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }

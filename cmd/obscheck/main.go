@@ -1,0 +1,72 @@
+// Command obscheck validates that each argument file parses as JSON,
+// exiting non-zero on the first failure. scripts/check.sh uses it to
+// smoke-test the -trace and -json outputs without depending on jq or
+// python in the build environment.
+//
+// Files ending in .json that carry a "traceEvents" key are further
+// checked for the Chrome trace-event shape Perfetto expects (an array
+// of objects with name/ph/ts fields).
+//
+//	obscheck trace.json results.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck file.json ...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s OK\n", path)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	events, ok := doc["traceEvents"]
+	if !ok {
+		return nil
+	}
+	list, ok := events.([]interface{})
+	if !ok {
+		return fmt.Errorf("traceEvents is not an array")
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+	for i, raw := range list {
+		ev, ok := raw.(map[string]interface{})
+		if !ok {
+			return fmt.Errorf("traceEvents[%d] is not an object", i)
+		}
+		for _, key := range []string{"name", "ph"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("traceEvents[%d] missing %q", i, key)
+			}
+		}
+		// Metadata events (ph "M") are timeless; everything else needs
+		// a timestamp for Perfetto to place it.
+		if ev["ph"] != "M" {
+			if _, ok := ev["ts"]; !ok {
+				return fmt.Errorf("traceEvents[%d] missing %q", i, "ts")
+			}
+		}
+	}
+	return nil
+}

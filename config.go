@@ -23,6 +23,7 @@ import (
 	"idio/internal/fault"
 	"idio/internal/hier"
 	"idio/internal/nic"
+	"idio/internal/obs"
 	"idio/internal/sim"
 )
 
@@ -70,6 +71,13 @@ type Config struct {
 	// watchdog stops the run and surfaces a *sim.WatchdogError via
 	// System.Err and Results.Aborted.
 	Watchdog *sim.WatchdogConfig
+	// Obs configures the observability layer: Obs.TraceSampleN > 0
+	// enables the structured packet-journey tracer (attach a sink via
+	// System.Observe().SetSink), Obs.MetricsInterval > 0 enables
+	// periodic metric-registry snapshots. The zero value costs zero
+	// work and zero allocations on the simulation's hot paths; the
+	// metric registry itself is always populated.
+	Obs obs.Config
 }
 
 // DefaultConfig builds the Table I system for the given core count:

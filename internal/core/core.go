@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 
+	"idio/internal/obs"
 	"idio/internal/pcie"
 	"idio/internal/sim"
 )
@@ -613,4 +614,31 @@ func (p *Prefetcher) issue(s *sim.Simulator) {
 	} else {
 		p.busy = false
 	}
+}
+
+// RegisterMetrics registers the controller's steering counters under
+// prefix (e.g. "ctrl."). The missteers key mirrors Results.WriteStats;
+// the steering breakdown extends it with the paper's per-target DMA
+// placement counts.
+func (c *Controller) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"missteers", func() uint64 { return c.MisSteers })
+	reg.CounterFunc(prefix+"steer_llc", func() uint64 { return c.SteerLLCCount })
+	reg.CounterFunc(prefix+"steer_mlc", func() uint64 { return c.SteerMLCCount })
+	reg.CounterFunc(prefix+"steer_dram", func() uint64 { return c.SteerDRAMCount })
+	reg.CounterFunc(prefix+"burst_resets", func() uint64 { return c.BurstResets })
+}
+
+// RegisterMetrics registers the classifier's burst-detection counter
+// under prefix (e.g. "classifier.").
+func (c *Classifier) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"bursts_seen", func() uint64 { return c.BurstsSeen })
+}
+
+// RegisterMetrics registers one prefetcher's hint counters under
+// prefix (e.g. "prefetch.core0.").
+func (p *Prefetcher) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"hints_queued", func() uint64 { return p.HintsQueued })
+	reg.CounterFunc(prefix+"hints_dropped", func() uint64 { return p.HintsDropped })
+	reg.CounterFunc(prefix+"issued", func() uint64 { return p.Issued })
+	reg.CounterFunc(prefix+"throttled", func() uint64 { return p.Throttled })
 }

@@ -17,6 +17,7 @@ import (
 	"idio/internal/hier"
 	"idio/internal/mem"
 	"idio/internal/nic"
+	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
@@ -132,6 +133,10 @@ type Env struct {
 	Ports []*nic.NIC
 	// Rings are the core's RX rings, parallel to Ports.
 	Rings []*nic.Ring
+	// Obs receives packet-service and slot-free trace events for
+	// sampled packets; nil (the default) disables emission at the cost
+	// of one branch per packet.
+	Obs   *obs.Observer
 	cfg   Config
 	clock sim.Clock
 }
@@ -228,6 +233,11 @@ func (e *Env) WriteRegion(r mem.Region) sim.Duration {
 // self-invalidation is off); run-to-completion callers charge it to
 // the core before the next poll.
 func (e *Env) FreeSlot(slot *nic.Slot) sim.Duration {
+	// Capture identity before Free: the ring clears the tail slot's
+	// packet pointer as part of returning it.
+	if e.Obs.Tracing() && slot.Pkt != nil && e.Obs.TracingPacket(slot.Pkt.Seq) {
+		e.Obs.Emit(obs.Event{Kind: obs.EvFree, Seq: slot.Pkt.Seq, Core: e.CoreID, At: e.Sim.Now()})
+	}
 	if !e.cfg.SelfInvalidate {
 		slot.Ring().Free()
 		return 0
@@ -439,6 +449,12 @@ func (c *Core) processNext(s *sim.Simulator, batch []*nic.Slot, i int, releasabl
 				Ready:   slot.ReadyAt,
 				Start:   start,
 				Done:    sm.Now(),
+			})
+		}
+		if c.env.Obs.TracingPacket(seq) {
+			c.env.Obs.Emit(obs.Event{
+				Kind: obs.EvDone, Seq: seq, Core: c.id, At: sm.Now(),
+				Arrival: arrival, Ready: slot.ReadyAt, Start: start,
 			})
 		}
 		if i+1 < len(batch) {

@@ -15,6 +15,7 @@
 package dram
 
 import (
+	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
@@ -195,3 +196,14 @@ func (d *DRAM) ReadBytes() uint64 { return d.reads.Value() * 64 }
 
 // WriteBytes returns total bytes written.
 func (d *DRAM) WriteBytes() uint64 { return d.writes.Value() * 64 }
+
+// RegisterMetrics registers the DRAM counter set under prefix (e.g.
+// "dram.") into the observability registry. Metric names mirror the
+// keys Results.WriteStats prints.
+func (d *DRAM) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"reads", d.Reads)
+	reg.CounterFunc(prefix+"writes", d.Writes)
+	reg.CounterFunc(prefix+"row_hits", d.RowHits)
+	reg.CounterFunc(prefix+"row_misses", d.RowMisses)
+	reg.CounterFunc(prefix+"penalized_accesses", d.PenalizedAccesses)
+}

@@ -25,6 +25,7 @@ import (
 	"idio/internal/cache"
 	"idio/internal/dram"
 	"idio/internal/mem"
+	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
@@ -196,6 +197,11 @@ type Hierarchy struct {
 
 	invalidatable map[mem.LineAddr]struct{} // pages registered as Invalidatable (Sec. V-D)
 	invalCheck    bool
+
+	// obs receives line-level trace events (writeback, DMA
+	// invalidation, prefetch outcome) for lines belonging to sampled
+	// packets. A nil observer costs one branch per event site.
+	obs *obs.Observer
 }
 
 // New constructs the hierarchy.
@@ -434,6 +440,9 @@ func (h *Hierarchy) llcWriteback(now sim.Time, v cache.Victim) {
 	if h.LLCWBTL != nil {
 		h.LLCWBTL.Record(now, 1)
 	}
+	if h.obs.Tracing() {
+		h.obs.LineEvent(obs.EvWriteback, now, v.Addr, -1, "llc", 0)
+	}
 	h.dram.Write(now, v.Addr)
 }
 
@@ -492,6 +501,9 @@ func (h *Hierarchy) snoopInvalMLC(now sim.Time, la uint64) bool {
 		h.stats.MLCInval++
 		if h.MLCInvTL != nil {
 			h.MLCInvTL.Record(now, 1)
+		}
+		if h.obs.Tracing() {
+			h.obs.LineEvent(obs.EvInval, now, la, owner, "dma-snoop", 0)
 		}
 	}
 	return present
@@ -611,11 +623,13 @@ func (h *Hierarchy) PrefetchToMLC(now sim.Time, core int, line mem.LineAddr) boo
 	la := uint64(line)
 	if h.mlc[core].Contains(la) || h.l1[core].Contains(la) {
 		h.stats.PrefetchDrop++
+		h.tracePrefetch(now, la, core, "drop-resident")
 		return false
 	}
 	if owner, ok := h.dir.owner(la); ok && owner != core {
 		// Resident in another MLC: leave it alone.
 		h.stats.PrefetchDrop++
+		h.tracePrefetch(now, la, core, "drop-foreign")
 		return false
 	}
 	if ln := h.llc.Lookup(la, false); ln != nil {
@@ -623,13 +637,23 @@ func (h *Hierarchy) PrefetchToMLC(now sim.Time, core int, line mem.LineAddr) boo
 		h.llc.Invalidate(la)
 		h.fillMLC(now, core, la, dirty, io)
 		h.stats.PrefetchFill++
+		h.tracePrefetch(now, la, core, "fill-llc")
 		return true
 	}
 	// Not on chip: fetch from DRAM.
 	h.dram.Read(now, la)
 	h.fillMLC(now, core, la, false, false)
 	h.stats.PrefetchFill++
+	h.tracePrefetch(now, la, core, "fill-dram")
 	return true
+}
+
+// tracePrefetch emits a prefetch-outcome trace event for a sampled
+// line.
+func (h *Hierarchy) tracePrefetch(now sim.Time, la uint64, core int, outcome string) {
+	if h.obs.Tracing() {
+		h.obs.LineEvent(obs.EvPrefetch, now, la, core, outcome, 0)
+	}
 }
 
 // InjectSnoopPressure force-inserts synthetic entries into the
@@ -784,4 +808,39 @@ func (d *directory) entries() int {
 		}
 	}
 	return n
+}
+
+// SetObserver attaches the observability layer. A nil observer (the
+// default) disables line-level trace emission.
+func (h *Hierarchy) SetObserver(o *obs.Observer) { h.obs = o }
+
+// RegisterMetrics registers the hierarchy's counters and occupancy
+// gauges under prefix (e.g. "hier."). Counter names mirror the keys
+// Results.WriteStats prints; the occupancy/way gauges additionally
+// expose the live state the periodic metric snapshots sample.
+func (h *Hierarchy) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"mlc_writebacks", func() uint64 { return h.stats.MLCWriteback })
+	reg.CounterFunc(prefix+"mlc_writebacks_dirty", func() uint64 { return h.stats.MLCWBDirty })
+	reg.CounterFunc(prefix+"mlc_invalidations", func() uint64 { return h.stats.MLCInval })
+	reg.CounterFunc(prefix+"llc_writebacks", func() uint64 { return h.stats.LLCWriteback })
+	reg.CounterFunc(prefix+"llc_writebacks_io", func() uint64 { return h.stats.LLCWBIO })
+	reg.CounterFunc(prefix+"dir_back_invalidations", func() uint64 { return h.stats.DirBackInval })
+	reg.CounterFunc(prefix+"self_invalidations", func() uint64 { return h.stats.SelfInval })
+	reg.CounterFunc(prefix+"ddio_updates", func() uint64 { return h.stats.DDIOUpdate })
+	reg.CounterFunc(prefix+"ddio_allocations", func() uint64 { return h.stats.DDIOAlloc })
+	reg.CounterFunc(prefix+"ddio_direct_dram", func() uint64 { return h.stats.DDIOToDRAM })
+	reg.CounterFunc(prefix+"prefetch_fills", func() uint64 { return h.stats.PrefetchFill })
+	reg.CounterFunc(prefix+"prefetch_drops", func() uint64 { return h.stats.PrefetchDrop })
+	reg.CounterFunc(prefix+"demand_l1_hits", func() uint64 { return h.stats.DemandL1Hit })
+	reg.CounterFunc(prefix+"demand_mlc_hits", func() uint64 { return h.stats.DemandMLCHit })
+	reg.CounterFunc(prefix+"demand_llc_hits", func() uint64 { return h.stats.DemandLLCHit })
+	reg.CounterFunc(prefix+"demand_dram", func() uint64 { return h.stats.DemandDRAM })
+	reg.GaugeFunc(prefix+"llc_occupancy", func() float64 { return float64(h.LLCOccupancy()) })
+	reg.GaugeFunc(prefix+"llc_occupancy_io", func() float64 { return float64(h.LLCOccupancyIO()) })
+	reg.GaugeFunc(prefix+"ddio_ways", func() float64 { return float64(h.DDIOWays()) })
+	for i := 0; i < h.cfg.NumCores; i++ {
+		i := i
+		reg.GaugeFunc(fmt.Sprintf("%smlc%d_occupancy", prefix, i), func() float64 { return float64(h.MLCOccupancy(i)) })
+		reg.GaugeFunc(fmt.Sprintf("%smlc%d_load", prefix, i), func() float64 { return h.MLCLoadFraction(i) })
+	}
 }

@@ -9,6 +9,7 @@ import (
 
 	idiocore "idio/internal/core"
 	"idio/internal/mem"
+	"idio/internal/obs"
 	"idio/internal/pcie"
 	"idio/internal/pkt"
 	"idio/internal/sim"
@@ -85,18 +86,29 @@ type NIC struct {
 	// transfer (shared across queues — one PCIe link).
 	engineFree sim.Time
 
-	// completionHooks fire after a descriptor write-back makes a
-	// packet visible on a queue — the interrupt line for
-	// interrupt-mode drivers. Polling-mode drivers leave them nil.
-	completionHooks []func(*sim.Simulator)
+	// driverHooks are the per-queue completion interrupt handlers —
+	// the interrupt line for interrupt-mode drivers. Polling-mode
+	// drivers leave them nil. Exactly one per queue (SetCompletionHook
+	// replaces).
+	driverHooks []func(*sim.Simulator)
+	// completionHooks are additional per-queue observers registered
+	// through OnCompletion; they fire after the driver's handler, in
+	// registration order.
+	completionHooks [][]func(*sim.Simulator)
 
 	// linkDown, when true, drops every arriving packet (an injected
 	// link flap). In-flight DMA is unaffected, as on real hardware.
 	linkDown bool
 
-	// invariantHook, when set, observes invariant violations (for
-	// logging or test assertions) after the counter increments.
-	invariantHook func(error)
+	// invariantHook is the single replaceable handler installed by the
+	// deprecated SetInvariantHook; invariantHooks are the appending
+	// OnInvariant registrations, fired after it.
+	invariantHook  func(error)
+	invariantHooks []func(error)
+
+	// obs receives the packet-journey trace events (rx, drop, dma)
+	// for sampled packets. A nil observer costs one branch per packet.
+	obs *obs.Observer
 
 	stats Stats
 }
@@ -111,7 +123,8 @@ func New(cfg Config, ly *mem.Layout, sink Sink, classifier *idiocore.Classifier,
 	}
 	n := &NIC{
 		cfg: cfg, sink: sink, classifier: classifier, flowdir: fd,
-		completionHooks: make([]func(*sim.Simulator), cfg.NumQueues),
+		driverHooks:     make([]func(*sim.Simulator), cfg.NumQueues),
+		completionHooks: make([][]func(*sim.Simulator), cfg.NumQueues),
 		txRings:         make([]*TXRing, cfg.NumQueues),
 		layout:          ly,
 	}
@@ -122,10 +135,33 @@ func New(cfg Config, ly *mem.Layout, sink Sink, classifier *idiocore.Classifier,
 	return n
 }
 
-// SetCompletionHook installs the queue's completion interrupt handler.
-func (n *NIC) SetCompletionHook(q int, fn func(*sim.Simulator)) {
-	n.completionHooks[q] = fn
+// OnCompletion registers an additional handler fired after each
+// descriptor write-back on queue q, in registration order, alongside
+// (and after) the driver's interrupt handler. This is the
+// observability-layer registration point; use System.OnCompletion to
+// register across ports.
+func (n *NIC) OnCompletion(q int, fn func(*sim.Simulator)) {
+	if fn == nil {
+		return
+	}
+	n.completionHooks[q] = append(n.completionHooks[q], fn)
 }
+
+// SetCompletionHook installs the queue's completion interrupt handler,
+// replacing any previously set handler (but leaving OnCompletion
+// registrations untouched).
+//
+// Deprecated: this remains the driver's installation point, but
+// observers that used it to piggyback on completions should register
+// through OnCompletion or System.OnCompletion, which compose instead
+// of clobbering.
+func (n *NIC) SetCompletionHook(q int, fn func(*sim.Simulator)) {
+	n.driverHooks[q] = fn
+}
+
+// SetObserver attaches the observability layer. A nil observer (the
+// default) disables all trace emission at the cost of one branch.
+func (n *NIC) SetObserver(o *obs.Observer) { n.obs = o }
 
 // Ring returns queue q's descriptor ring.
 func (n *NIC) Ring(q int) *Ring { return n.rings[q] }
@@ -159,17 +195,37 @@ func (n *NIC) StallDMA(now sim.Time, d sim.Duration) sim.Time {
 	return n.engineFree
 }
 
+// OnInvariant registers an additional observer called on every
+// invariant violation (after the counter increments), in registration
+// order.
+func (n *NIC) OnInvariant(fn func(error)) {
+	if fn == nil {
+		return
+	}
+	n.invariantHooks = append(n.invariantHooks, fn)
+}
+
 // SetInvariantHook installs an observer called on every invariant
-// violation (after the counter increments).
+// violation, replacing a previously Set handler (but leaving
+// OnInvariant registrations untouched).
+//
+// Deprecated: register through OnInvariant or System.OnInvariant,
+// which compose instead of clobbering.
 func (n *NIC) SetInvariantHook(fn func(error)) { n.invariantHook = fn }
 
 // invariant records an internal error on a named path and drops the
 // offending work instead of crashing the process. A faulted DMA must
 // degrade the run, not kill it.
 func (n *NIC) invariant(path string, err error) {
-	n.stats.InvariantViolations++
+	if n.stats.InvariantViolations++; n.invariantHook == nil && len(n.invariantHooks) == 0 {
+		return
+	}
+	werr := fmt.Errorf("nic: invariant violation on %s: %w", path, err)
 	if n.invariantHook != nil {
-		n.invariantHook(fmt.Errorf("nic: invariant violation on %s: %w", path, err))
+		n.invariantHook(werr)
+	}
+	for _, fn := range n.invariantHooks {
+		fn(werr)
 	}
 }
 
@@ -196,12 +252,14 @@ func (n *NIC) reserveEngine(now sim.Time, nLines int) (start, end sim.Time) {
 func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	if n.linkDown {
 		n.stats.LinkDownDrops++
+		n.traceDrop(s, p, -1, "link-down")
 		return
 	}
 	fields, err := pkt.Parse(p.Frame)
 	if err != nil {
 		// Undecodable frames are dropped by the parser stage.
 		n.stats.RxDrops++
+		n.traceDrop(s, p, -1, "parse")
 		return
 	}
 	coreID := n.flowdir.Steer(fields.Tuple())
@@ -210,11 +268,13 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		// director) drops the packet rather than crashing the device.
 		n.stats.MisSteers++
 		n.invariant("rx-steer", fmt.Errorf("flow director steered to core %d with %d queues", coreID, n.cfg.NumQueues))
+		n.traceDrop(s, p, -1, "missteer")
 		return
 	}
 	ring := n.rings[coreID]
 	slot := ring.Produce(p)
 	if slot == nil {
+		n.traceDrop(s, p, coreID, "ring-full")
 		return // ring full: counted by the ring
 	}
 	slot.owner = n
@@ -230,7 +290,18 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	payload := slot.PayloadRegion()
 	nLines := payload.NumLines()
 	descLines := slot.Desc.NumLines()
-	start, _ := n.reserveEngine(now, nLines+descLines)
+	start, end := n.reserveEngine(now, nLines+descLines)
+
+	if n.obs.TracingPacket(p.Seq) {
+		// Attribute the slot's payload and descriptor lines to this
+		// packet so downstream placement/writeback/prefetch events can
+		// be stitched into its journey, then record admission and the
+		// paced DMA span.
+		n.obs.MarkLines(p.Seq, payload)
+		n.obs.MarkLines(p.Seq, slot.Desc)
+		n.obs.Emit(obs.Event{Kind: obs.EvRx, Seq: p.Seq, Core: coreID, At: now, Bytes: p.Len()})
+		n.obs.Emit(obs.Event{Kind: obs.EvDMA, Seq: p.Seq, Core: coreID, At: start, Dur: end.Sub(start), Bytes: p.Len()})
+	}
 
 	// Schedule each payload line write at its paced instant.
 	lt := n.lineTime()
@@ -274,10 +345,20 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	readyAt := descStart.Add(sim.Duration(int64(lt)*int64(descLines)) + n.cfg.DescWBDelay)
 	s.AtNamed(readyAt, "desc-visible", func(sm *sim.Simulator) {
 		ring.Complete(slot, sm.Now())
-		if hook := n.completionHooks[coreID]; hook != nil {
+		if hook := n.driverHooks[coreID]; hook != nil {
+			hook(sm)
+		}
+		for _, hook := range n.completionHooks[coreID] {
 			hook(sm)
 		}
 	})
+}
+
+// traceDrop emits a drop event for a sampled packet.
+func (n *NIC) traceDrop(s *sim.Simulator, p *pkt.Packet, coreID int, reason string) {
+	if n.obs.TracingPacket(p.Seq) {
+		n.obs.Emit(obs.Event{Kind: obs.EvDrop, Seq: p.Seq, Core: coreID, At: s.Now(), Bytes: p.Len(), Arg: reason})
+	}
 }
 
 // Transmit performs the egress path for a zero-copy forwarder: paced
@@ -303,4 +384,21 @@ func (n *NIC) Transmit(s *sim.Simulator, payload mem.Region, done func(sim.Time)
 	if done != nil {
 		s.AtNamed(end, "tx-done", func(sm *sim.Simulator) { done(sm.Now()) })
 	}
+}
+
+// RegisterMetrics registers the NIC counter set under prefix (e.g.
+// "nic.") into the observability registry, reading through statsFn so
+// multi-port systems can register one port-aggregated view. Metric
+// names mirror the keys Results.WriteStats prints.
+func RegisterMetrics(reg *obs.Registry, prefix string, statsFn func() Stats) {
+	reg.CounterFunc(prefix+"rx_packets", func() uint64 { return statsFn().RxPackets })
+	reg.CounterFunc(prefix+"rx_bytes", func() uint64 { return statsFn().RxBytes })
+	reg.CounterFunc(prefix+"rx_drops", func() uint64 { return statsFn().RxDrops })
+	reg.CounterFunc(prefix+"pool_drops", func() uint64 { return statsFn().PoolDrops })
+	reg.CounterFunc(prefix+"linkdown_drops", func() uint64 { return statsFn().LinkDownDrops })
+	reg.CounterFunc(prefix+"missteers", func() uint64 { return statsFn().MisSteers })
+	reg.CounterFunc(prefix+"invariant_violations", func() uint64 { return statsFn().InvariantViolations })
+	reg.CounterFunc(prefix+"tx_packets", func() uint64 { return statsFn().TxPackets })
+	reg.CounterFunc(prefix+"dma_writes", func() uint64 { return statsFn().DMAWrites })
+	reg.CounterFunc(prefix+"dma_reads", func() uint64 { return statsFn().DMAReads })
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"testing"
+
+	"idio/internal/mem"
+	"idio/internal/sim"
+)
+
+// The disabled-observability benchmarks are part of the acceptance
+// criteria: instrumented hot paths guard on these calls, so with a nil
+// or disabled observer they must report 0 allocs/op (and a handful of
+// nanoseconds). bench smoke in scripts/check.sh compiles and runs them.
+
+var sinkBool bool
+
+func BenchmarkDisabledTracingPacket(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBool = o.TracingPacket(uint64(i))
+	}
+}
+
+func BenchmarkDisabledEmit(b *testing.B) {
+	o := New(Config{}) // registry only, tracer off
+	e := Event{Kind: EvDone, Seq: 1, Core: 2, At: sim.Time(3 * sim.Microsecond)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Emit(e)
+	}
+}
+
+func BenchmarkDisabledLineEvent(b *testing.B) {
+	o := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.LineEvent(EvPlace, sim.Time(i), uint64(i), 0, "LLC", 0)
+	}
+}
+
+func BenchmarkDisabledMarkLines(b *testing.B) {
+	var o *Observer
+	r := mem.Region{Base: 0, Size: 2048}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.MarkLines(uint64(i), r)
+	}
+}
+
+func BenchmarkEnabledEmitNullSink(b *testing.B) {
+	o := New(Config{TraceSampleN: 1})
+	e := Event{Kind: EvRx, Seq: 1, Core: 0, At: sim.Time(sim.Microsecond)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if o.TracingPacket(e.Seq) {
+			o.Emit(e)
+		}
+	}
+}
+
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	var n uint64
+	for i := 0; i < 64; i++ {
+		name := "m" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+		r.CounterFunc(name, func() uint64 { return n })
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n++
+		if len(r.Snapshot()) != 64 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

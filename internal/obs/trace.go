@@ -1,0 +1,92 @@
+package obs
+
+import "idio/internal/sim"
+
+// EventKind identifies a stage of a packet's journey through the
+// simulated machine.
+type EventKind uint8
+
+const (
+	// EvRx: the NIC admitted a packet into an RX ring.
+	EvRx EventKind = iota
+	// EvDrop: the packet was dropped (Arg carries the reason).
+	EvDrop
+	// EvDMA: the paced DMA of the packet's payload and descriptor
+	// lines over PCIe (a span: At..At+Dur).
+	EvDMA
+	// EvPlace: a TLP placement decision for one cacheline (Arg is the
+	// steering target — LLC, MLC, or DRAM; Dur is the write latency).
+	EvPlace
+	// EvPrefetch: the IDIO controller prefetched the line into an MLC
+	// (Arg "fill") or the hint was dropped (Arg "drop").
+	EvPrefetch
+	// EvInval: inbound DMA invalidated an MLC- or LLC-resident copy of
+	// the line (Arg names the mechanism).
+	EvInval
+	// EvWriteback: the line was written back toward DRAM.
+	EvWriteback
+	// EvDone: a core finished serving the packet. Arrival, Ready and
+	// Start carry the queueing breakdown; At is completion time.
+	EvDone
+	// EvFree: the slot returned to the NIC (self-invalidation happens
+	// here under the Invalidate/IDIO policies).
+	EvFree
+)
+
+var kindNames = [...]string{
+	EvRx:        "rx",
+	EvDrop:      "drop",
+	EvDMA:       "dma",
+	EvPlace:     "place",
+	EvPrefetch:  "prefetch",
+	EvInval:     "inval",
+	EvWriteback: "writeback",
+	EvDone:      "service",
+	EvFree:      "free",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. It is passed by value through
+// Observer.Emit into the sink, so emitting an event never allocates;
+// Arg must therefore be a static label, not a formatted string.
+type Event struct {
+	Kind  EventKind
+	Seq   uint64       // packet sequence number
+	Core  int          // destination core (-1 when unknown)
+	At    sim.Time     // event time (completion time for spans)
+	Dur   sim.Duration // span length (EvDMA, EvPlace, EvDone phases)
+	Line  uint64       // cacheline address for line-level events
+	Bytes int          // payload size where meaningful
+	Arg   string       // static label: steering target, drop reason, ...
+
+	// Queueing breakdown, EvDone only.
+	Arrival sim.Time // wire arrival
+	Ready   sim.Time // descriptor visible to the core
+	Start   sim.Time // service began
+}
+
+// Tracer samples packets by sequence number and forwards their events
+// to the configured sink. The line map attributes cacheline-level
+// events (placement, writeback, prefetch) back to the sampled packet
+// that owns the line; unsampled lines simply miss the map.
+type Tracer struct {
+	sampleN uint64
+	sink    Sink
+	lines   map[uint64]uint64 // line address → packet seq
+	emitted uint64
+}
+
+func newTracer(sampleN uint64, sink Sink) *Tracer {
+	return &Tracer{sampleN: sampleN, sink: sink, lines: make(map[uint64]uint64)}
+}
+
+func (t *Tracer) emit(e Event) {
+	t.emitted++
+	t.sink.Emit(e)
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"idio/internal/mem"
+	"idio/internal/obs"
 )
 
 // IOMMU validates DMA targets against registered mappings, as the
@@ -75,4 +76,12 @@ func (u *IOMMU) CheckRead(lineAddr uint64) bool {
 	}
 	u.ReadFaults++
 	return false
+}
+
+// RegisterMetrics registers the IOMMU fault counters under prefix
+// (e.g. "iommu.") into the observability registry. Metric names mirror
+// the keys Results.WriteStats prints.
+func (u *IOMMU) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"read_faults", func() uint64 { return u.ReadFaults })
+	reg.CounterFunc(prefix+"write_faults", func() uint64 { return u.WriteFaults })
 }

@@ -30,6 +30,7 @@ import (
 	"idio/internal/apps"
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/traffic"
 )
@@ -212,6 +213,21 @@ func appFor(name string, sys *idio.System) (cpu.App, error) {
 	}
 }
 
+// RunOpts carries run-time observability options that are deliberately
+// not part of the scenario document: the same scenario file can be run
+// untraced (production figures) or traced (debugging) without edits.
+type RunOpts struct {
+	// TraceSampleN > 0 enables the packet-journey tracer, following
+	// every Nth packet (1 = all).
+	TraceSampleN int
+	// TraceSink receives trace events when tracing is enabled; nil
+	// leaves the counting NullSink. The caller owns closing it.
+	TraceSink obs.Sink
+	// MetricsInterval > 0 records a metric-registry snapshot at this
+	// period (see Results.MetricSeries).
+	MetricsInterval sim.Duration
+}
+
 // Run builds, executes, and summarises the scenario. It returns the
 // run results and the antagonist's CPI (zero when not configured).
 func Run(sc Scenario) (idio.Results, float64, error) {
@@ -222,6 +238,12 @@ func Run(sc Scenario) (idio.Results, float64, error) {
 // RunSystem is Run but additionally returns the live system so callers
 // can inspect post-run state (per-packet traces, cache occupancies).
 func RunSystem(sc Scenario) (*idio.System, idio.Results, float64, error) {
+	return RunSystemOpts(sc, RunOpts{})
+}
+
+// RunSystemOpts is RunSystem with observability options layered on
+// top of the scenario document.
+func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float64, error) {
 	pol, err := sc.policy()
 	if err != nil {
 		return nil, idio.Results{}, 0, err
@@ -257,8 +279,13 @@ func RunSystem(sc Scenario) (*idio.System, idio.Results, float64, error) {
 		sizes[sc.Antagonist.Core] = sc.Antagonist.MLCKB << 10
 		cfg.Hier.MLCSizePerCore = sizes
 	}
+	cfg.Obs.TraceSampleN = opts.TraceSampleN
+	cfg.Obs.MetricsInterval = opts.MetricsInterval
 
 	sys := idio.NewSystem(cfg)
+	if opts.TraceSink != nil {
+		sys.Observe().SetSink(opts.TraceSink)
+	}
 	for _, nf := range sc.NFs {
 		app, err := appFor(nf.App, sys)
 		if err != nil {

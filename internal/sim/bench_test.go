@@ -77,6 +77,30 @@ func BenchmarkScheduleDeep(b *testing.B) {
 	}
 }
 
+// TestHotSchedulingPathZeroAllocs is the regression guard behind the
+// observability layer's zero-cost claim: with observability disabled
+// (the simulator never links it at all), the steady-state
+// schedule-pop-execute cycle must not allocate. Run as a benchmark so
+// the number is allocs/op over the real hot loop, not a hand-rolled
+// approximation of it.
+func TestHotSchedulingPathZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"RunUntil", BenchmarkRunUntil},
+		{"Schedule", BenchmarkSchedule},
+	} {
+		res := testing.Benchmark(bench.fn)
+		if a := res.AllocsPerOp(); a != 0 {
+			t.Errorf("%s: %d allocs/op on the hot scheduling path, want 0", bench.name, a)
+		}
+	}
+}
+
 // TestEventQueueHeapOrder cross-checks the 4-ary heap against a
 // reference sort over random schedules, including heavy same-instant
 // ties (the FIFO case the simulator depends on).

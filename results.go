@@ -1,6 +1,7 @@
 package idio
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"idio/internal/fault"
 	"idio/internal/hier"
 	"idio/internal/nic"
+	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
@@ -72,6 +74,15 @@ type Results struct {
 	DMATL    *stats.Timeline
 	DRAMRdTL *stats.Timeline
 	DRAMWrTL *stats.Timeline
+
+	// Metrics is the observability registry's snapshot at Collect time,
+	// in registration order: every WriteStats counter plus component
+	// gauges the flat stats file does not carry. WriteJSON serialises
+	// this view.
+	Metrics []obs.Sample
+	// MetricSeries holds the periodic registry snapshots recorded when
+	// Config.Obs.MetricsInterval > 0 (nil otherwise).
+	MetricSeries *obs.Series
 }
 
 // Collect snapshots the current statistics without advancing time.
@@ -148,7 +159,69 @@ func (s *System) Collect() Results {
 	if first, ok := s.FirstDMAAt(); ok && lastDone > first {
 		r.ExeTime = lastDone.Sub(first)
 	}
+	r.Metrics = s.obs.Registry().Snapshot()
+	r.MetricSeries = s.obs.Metrics()
 	return r
+}
+
+// ResultsSchemaVersion identifies the WriteJSON layout; bump it on any
+// incompatible change to the emitted structure.
+const ResultsSchemaVersion = 1
+
+// jsonMetric is one registry sample in the WriteJSON output.
+type jsonMetric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+}
+
+// jsonSeries is the periodic metric time series in the WriteJSON
+// output: one row of values per sample time, columns as in Names.
+type jsonSeries struct {
+	Names  []string    `json:"names"`
+	TimeUS []float64   `json:"time_us"`
+	Rows   [][]float64 `json:"rows"`
+}
+
+// jsonResults is the WriteJSON document.
+type jsonResults struct {
+	Schema    int          `json:"schema"`
+	NowUS     float64      `json:"now_us"`
+	ExeTimeUS float64      `json:"exe_time_us"`
+	Aborted   bool         `json:"aborted"`
+	Metrics   []jsonMetric `json:"metrics"`
+	Series    *jsonSeries  `json:"series,omitempty"`
+}
+
+// WriteJSON emits the run's metrics as a schema-versioned JSON
+// document sourced from the observability registry: each sample keeps
+// its registration-order position, name, kind, and value, so two runs
+// of the same configuration produce structurally identical documents.
+// When periodic snapshots were enabled (Config.Obs.MetricsInterval),
+// the document also carries the full time series.
+func (r Results) WriteJSON(w io.Writer) error {
+	doc := jsonResults{
+		Schema:    ResultsSchemaVersion,
+		NowUS:     r.Now.Microseconds(),
+		ExeTimeUS: r.ExeTime.Microseconds(),
+		Aborted:   r.Aborted != nil,
+		Metrics:   make([]jsonMetric, 0, len(r.Metrics)),
+	}
+	for _, m := range r.Metrics {
+		doc.Metrics = append(doc.Metrics, jsonMetric{Name: m.Name, Kind: m.Kind.String(), Value: m.Value})
+	}
+	if s := r.MetricSeries; s != nil && s.Len() > 0 {
+		js := &jsonSeries{Names: s.Names()}
+		for i := 0; i < s.Len(); i++ {
+			tUS, row := s.Row(i)
+			js.TimeUS = append(js.TimeUS, tUS)
+			js.Rows = append(js.Rows, row)
+		}
+		doc.Series = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func boolToInt(b bool) int {

@@ -11,3 +11,11 @@ go test ./...
 go test -race ./internal/...
 GOMAXPROCS=2 go test -race ./internal/experiment
 go test -run '^$' -bench . -benchtime=1x ./...
+# Observability smoke: run a short traced scenario and validate that
+# the Chrome trace and the metrics JSON both parse.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/idiosim -scenario scenarios/mixed_nfs.json \
+    -trace "$obsdir/trace.json" -trace-sample 16 \
+    -json "$obsdir/results.json" > /dev/null
+go run ./cmd/obscheck "$obsdir/trace.json" "$obsdir/results.json"

@@ -9,6 +9,7 @@ import (
 	"idio/internal/hier"
 	"idio/internal/mem"
 	"idio/internal/nic"
+	"idio/internal/obs"
 	"idio/internal/pcie"
 	"idio/internal/pkt"
 	"idio/internal/sim"
@@ -33,6 +34,9 @@ type rootComplex struct {
 // DMAWrite implements nic.Sink.
 func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
 	if rc.sys.IOMMU != nil && !rc.sys.IOMMU.CheckWrite(tlp.LineAddr) {
+		if o := rc.sys.obs; o.Tracing() {
+			o.LineEvent(obs.EvDrop, now, tlp.LineAddr, -1, "iommu-fault", 0)
+		}
 		return 0 // faulted: dropped before touching memory
 	}
 	if !rc.sawDMA {
@@ -40,11 +44,13 @@ func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
 		rc.firstDMAAt = now
 	}
 	meta := tlp.Meta()
-	switch rc.sys.Controller.Steer(meta) {
+	steer := rc.sys.Controller.Steer(meta)
+	var lat sim.Duration
+	switch steer {
 	case idiocore.SteerDRAM:
-		return rc.sys.Hier.DirectDRAMWrite(now, mem.LineAddr(tlp.LineAddr))
+		lat = rc.sys.Hier.DirectDRAMWrite(now, mem.LineAddr(tlp.LineAddr))
 	case idiocore.SteerMLC:
-		lat := rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+		lat = rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
 		// A corrupted metadata bit can decode to a core the system
 		// does not have; Steer only returns SteerMLC for in-range
 		// cores, but guard anyway — a mis-steer must degrade, never
@@ -52,10 +58,13 @@ func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
 		if meta.DestCore >= 0 && meta.DestCore < len(rc.sys.Prefetchers) {
 			rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
 		}
-		return lat
 	default:
-		return rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+		lat = rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
 	}
+	if o := rc.sys.obs; o.Tracing() {
+		o.LineEvent(obs.EvPlace, now, tlp.LineAddr, meta.DestCore, steer.String(), lat)
+	}
+	return lat
 }
 
 // DMARead implements nic.Sink (TX egress path).
@@ -67,16 +76,21 @@ func (rc *rootComplex) DMARead(now sim.Time, line uint64) sim.Duration {
 }
 
 // prefetchAdapter bridges the controller-side prefetcher to the
-// hierarchy's typed API. It also exposes MLC load so the adaptive
-// prefetcher variant can regulate itself.
-type prefetchAdapter struct{ h *hier.Hierarchy }
+// hierarchy's typed API and fans each prefetch outcome out to hooks
+// registered through System.OnPrefetch. It also exposes MLC load so
+// the adaptive prefetcher variant can regulate itself.
+type prefetchAdapter struct{ sys *System }
 
 func (a prefetchAdapter) PrefetchToMLC(now sim.Time, coreID int, line uint64) bool {
-	return a.h.PrefetchToMLC(now, coreID, mem.LineAddr(line))
+	filled := a.sys.Hier.PrefetchToMLC(now, coreID, mem.LineAddr(line))
+	for _, fn := range a.sys.prefetchHooks {
+		fn(coreID, line, filled)
+	}
+	return filled
 }
 
 func (a prefetchAdapter) MLCLoadFraction(coreID int) float64 {
-	return a.h.MLCLoadFraction(coreID)
+	return a.sys.Hier.MLCLoadFraction(coreID)
 }
 
 // System is a fully wired simulated server: hierarchy, NIC, IDIO
@@ -112,6 +126,9 @@ type System struct {
 	rc      *rootComplex
 	layout  *mem.Layout
 	started bool
+
+	obs           *obs.Observer
+	prefetchHooks []func(core int, line uint64, filled bool)
 }
 
 // NewSystem wires a system from the configuration. It panics on an
@@ -133,16 +150,18 @@ func NewSystemE(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{Cfg: cfg, Sim: sim.New()}
+	s.obs = obs.New(cfg.Obs)
 	if cfg.Watchdog != nil {
 		s.Sim.SetWatchdog(*cfg.Watchdog)
 	}
 	s.Hier = hier.New(cfg.Hier)
+	s.Hier.SetObserver(s.obs)
 	s.Classifier = idiocore.NewClassifier(cfg.Classifier)
 	s.FlowDir = nic.NewFlowDirector(cfg.Hier.NumCores)
 	s.Controller = idiocore.NewController(cfg.Controller, cfg.Policy, s.Hier.MLCWritebacks)
 	for i := 0; i < cfg.Hier.NumCores; i++ {
 		s.Prefetchers = append(s.Prefetchers,
-			idiocore.NewPrefetcher(cfg.Prefetcher, i, prefetchAdapter{s.Hier}))
+			idiocore.NewPrefetcher(cfg.Prefetcher, i, prefetchAdapter{s}))
 	}
 	if cfg.DynamicDDIOWays != nil {
 		s.WayTuner = idiocore.NewWayTuner(*cfg.DynamicDDIOWays, s.Hier.LLCWBIOCount, s.Hier.SetDDIOWays)
@@ -162,7 +181,9 @@ func NewSystemE(cfg Config) (*System, error) {
 		nPorts = 1
 	}
 	for p := 0; p < nPorts; p++ {
-		s.ports = append(s.ports, nic.New(cfg.NIC, s.layout, sink, s.Classifier, s.FlowDir))
+		port := nic.New(cfg.NIC, s.layout, sink, s.Classifier, s.FlowDir)
+		port.SetObserver(s.obs)
+		s.ports = append(s.ports, port)
 	}
 	s.NIC = s.ports[0]
 	if s.Faults != nil {
@@ -199,7 +220,123 @@ func NewSystemE(cfg Config) (*System, error) {
 			}
 		}
 	}
+	s.registerMetrics()
 	return s, nil
+}
+
+// registerMetrics populates the observability registry with every
+// counter WriteStats reports (same names) plus component-level gauges.
+// All entries are closures over live component state, so a registry
+// snapshot at any simulated time reflects that instant.
+func (s *System) registerMetrics() {
+	reg := s.obs.Registry()
+	reg.GaugeFunc("sim.now_us", func() float64 { return s.Sim.Now().Microseconds() })
+	nic.RegisterMetrics(reg, "nic.", func() nic.Stats {
+		agg := s.ports[0].Stats()
+		for _, port := range s.ports[1:] {
+			ps := port.Stats()
+			agg.RxPackets += ps.RxPackets
+			agg.RxBytes += ps.RxBytes
+			agg.RxDrops += ps.RxDrops
+			agg.TxPackets += ps.TxPackets
+			agg.DMAWrites += ps.DMAWrites
+			agg.DMAReads += ps.DMAReads
+			agg.PoolDrops += ps.PoolDrops
+			agg.LinkDownDrops += ps.LinkDownDrops
+			agg.MisSteers += ps.MisSteers
+			agg.InvariantViolations += ps.InvariantViolations
+		}
+		return agg
+	})
+	// WriteStats always reports the IOMMU keys, faulted or not, so the
+	// registry mirrors that even when address validation is disabled.
+	if u := s.IOMMU; u != nil {
+		u.RegisterMetrics(reg, "iommu.")
+	} else {
+		reg.CounterFunc("iommu.read_faults", func() uint64 { return 0 })
+		reg.CounterFunc("iommu.write_faults", func() uint64 { return 0 })
+	}
+	s.Controller.RegisterMetrics(reg, "ctrl.")
+	s.Classifier.RegisterMetrics(reg, "classifier.")
+	s.Hier.RegisterMetrics(reg, "hier.")
+	s.Hier.DRAM().RegisterMetrics(reg, "dram.")
+	for i, p := range s.Prefetchers {
+		p.RegisterMetrics(reg, fmt.Sprintf("prefetch.core%d.", i))
+	}
+	if s.Faults != nil {
+		reg.CounterFunc("fault.tlps_corrupted", func() uint64 { return s.Faults.Stats().TLPsCorrupted })
+		reg.CounterFunc("fault.tlps_poisoned", func() uint64 { return s.Faults.Stats().TLPsPoisoned })
+		reg.CounterFunc("fault.link_flaps", func() uint64 { return s.Faults.Stats().LinkFlaps })
+		reg.CounterFunc("fault.dma_stalls", func() uint64 { return s.Faults.Stats().DMAStalls })
+		reg.CounterFunc("fault.mbufs_leaked", func() uint64 { return s.Faults.Stats().MbufsLeaked })
+		reg.CounterFunc("fault.dram_spikes", func() uint64 { return s.Faults.Stats().DRAMSpikes })
+		reg.CounterFunc("fault.snoop_thrashes", func() uint64 { return s.Faults.Stats().SnoopThrashes })
+		reg.CounterFunc("fault.dir_evictions", func() uint64 { return s.Faults.Stats().DirEvictions })
+		reg.CounterFunc("fault.core_stalls", func() uint64 { return s.Faults.Stats().CoreStalls })
+	}
+	// Cores are installed after construction (AddNF), so the per-core
+	// closures tolerate nil slots and report zero until an app exists.
+	for i := range s.Cores {
+		i := i
+		core := func() *cpu.Core { return s.Cores[i] }
+		reg.CounterFunc(fmt.Sprintf("core%d.processed", i), func() uint64 {
+			if c := core(); c != nil {
+				return c.Processed
+			}
+			return 0
+		})
+		reg.GaugeFunc(fmt.Sprintf("core%d.p50_us", i), func() float64 {
+			if c := core(); c != nil && c.Latencies.Count() > 0 {
+				return c.Latencies.P50().Microseconds()
+			}
+			return 0
+		})
+		reg.GaugeFunc(fmt.Sprintf("core%d.p99_us", i), func() float64 {
+			if c := core(); c != nil && c.Latencies.Count() > 0 {
+				return c.Latencies.P99().Microseconds()
+			}
+			return 0
+		})
+		reg.GaugeFunc(fmt.Sprintf("core%d.busy_us", i), func() float64 {
+			if c := core(); c != nil {
+				return c.BusyTime.Microseconds()
+			}
+			return 0
+		})
+	}
+}
+
+// Observe exposes the system's observability layer: its metric
+// registry (always live), the structured tracer (enabled via
+// Config.Obs.TraceSampleN), and the periodic metric time series
+// (enabled via Config.Obs.MetricsInterval). Attach a trace sink with
+// Observe().SetSink before Start.
+func (s *System) Observe() *obs.Observer { return s.obs }
+
+// OnCompletion registers an observer for RX descriptor-visible events
+// on one port's queue. Unlike the deprecated nic.SetCompletionHook
+// (which installs the single driver notification and replaces any
+// previous one), observers accumulate: every registered fn runs after
+// the driver hook.
+func (s *System) OnCompletion(port, queue int, fn func(*sim.Simulator)) {
+	s.ports[port].OnCompletion(queue, fn)
+}
+
+// OnInvariant registers an observer for NIC model-invariant
+// violations on every port. Unlike the deprecated
+// nic.SetInvariantHook, observers accumulate.
+func (s *System) OnInvariant(fn func(error)) {
+	for _, port := range s.ports {
+		port.OnInvariant(fn)
+	}
+}
+
+// OnPrefetch registers an observer for every MLC prefetch attempt
+// (filled reports whether the line was actually installed in the
+// destination core's MLC). Observers accumulate; registration must
+// happen before the run for complete coverage.
+func (s *System) OnPrefetch(fn func(core int, line uint64, filled bool)) {
+	s.prefetchHooks = append(s.prefetchHooks, fn)
 }
 
 // Ports returns every NIC port.
@@ -230,6 +367,7 @@ func (s *System) AddNF(coreID int, app cpu.App, flow traffic.Flow) *cpu.Core {
 	coreCfg := s.Cfg.CPU
 	coreCfg.SelfInvalidate = s.Cfg.Policy.SelfInvalidate
 	c := cpu.NewCore(coreID, coreCfg, s.Cfg.Hier.Clock, s.Hier, s.Ports(), app)
+	c.Env().Obs = s.obs
 	s.Cores[coreID] = c
 	if s.Faults != nil {
 		s.Faults.AttachCore(c)
@@ -279,6 +417,11 @@ func (s *System) Start() {
 	}
 	if s.Faults != nil {
 		s.Faults.Start(s.Sim)
+	}
+	if iv := s.obs.MetricsInterval(); iv > 0 {
+		s.Sim.Every(0, iv, func(sm *sim.Simulator) {
+			s.obs.SampleMetrics(sm.Now())
+		})
 	}
 	if p := s.Cfg.OccupancySampling; p > 0 {
 		s.LLCOcc = stats.NewLevelSeries()

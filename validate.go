@@ -154,6 +154,12 @@ func (c Config) Validate() error {
 			bad("Watchdog.MaxPendingEvents", "must be >= 0, got %d", w.MaxPendingEvents)
 		}
 	}
+	if c.Obs.TraceSampleN < 0 {
+		bad("Obs.TraceSampleN", "must be >= 0, got %d", c.Obs.TraceSampleN)
+	}
+	if c.Obs.MetricsInterval < 0 {
+		bad("Obs.MetricsInterval", "must be >= 0, got %v", c.Obs.MetricsInterval)
+	}
 	if err := c.Faults.Validate(); err != nil {
 		errs = append(errs, &ConfigError{Field: "Faults", Msg: err.Error()})
 	}
