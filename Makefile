@@ -20,6 +20,7 @@ test:
 race:
 	$(GO) test -race ./internal/...
 	GOMAXPROCS=2 $(GO) test -race ./internal/experiment
+	GOMAXPROCS=2 $(GO) test -race ./internal/net
 
 # bench-smoke compiles and runs every benchmark for a single iteration
 # so a broken benchmark fails CI without paying full measurement time.

@@ -1,0 +1,293 @@
+package idio
+
+import (
+	"fmt"
+
+	fnet "idio/internal/net"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+	"idio/internal/stats"
+	"idio/internal/traffic"
+)
+
+// ServerIP is the DUT's address on the fabric (DefaultFlow's Dst).
+var ServerIP = pkt.IPv4{10, 0, 0, 1}
+
+// ClientIP returns client host i's fabric address. The 10.0.2/24
+// range is disjoint from DefaultFlow's 10.0.1/24 sources, so direct
+// injection and fabric traffic can coexist without tuple collisions.
+func ClientIP(i int) pkt.IPv4 { return pkt.IPv4{10, 0, 2, byte(i + 1)} }
+
+// Cluster is a multi-host topology on one simulator: N lightweight
+// client hosts reaching one fully-modelled DUT server through an
+// output-queued switch. Requests travel client → uplink → switch →
+// server downlink → DUT NIC; the DUT's NF processes them and its TX
+// path hands completions to the wire hook, which echoes the frame
+// (addresses swapped) back through the switch to the owning client.
+//
+//	client0 ──up──▶          ┌─▶ down ──▶ client0
+//	client1 ──up──▶  switch ─┼─▶ down ──▶ client1
+//	   ...           ▲    │  └─▶ ...
+//	                 │    └─ srv.down ─▶ [DUT NIC → cores → TX]
+//	                 └────── srv.up ◀────────────┘
+type Cluster struct {
+	Sim *sim.Simulator
+	// DUT is the server host: the full System (hierarchy, NIC, IDIO).
+	DUT *System
+	// Switch connects every host; routes are keyed by destination IP.
+	Switch *fnet.Switch
+	// Clients holds the RPC clients installed via AddRPCClient, in
+	// installation order (nil-free; index is NOT the client slot).
+	Clients []*fnet.Client
+	// ClientUp[i] carries client slot i's traffic toward the switch;
+	// ClientDown[i] is non-nil once slot i has an RPC client.
+	ClientUp   []*fnet.Link
+	ClientDown []*fnet.Link
+	// ServerUp carries DUT responses to the switch; ServerDown carries
+	// switch traffic into the DUT NIC.
+	ServerUp   *fnet.Link
+	ServerDown *fnet.Link
+	// Hist aggregates end-to-end RPC latency across all clients.
+	Hist *stats.Histogram
+
+	cfg     ClusterConfig
+	started bool
+}
+
+// NewCluster wires the topology: the DUT server (full System) and
+// nClients client slots, all on one simulator. Client slots start
+// empty — attach an RPC client with AddRPCClient, or feed a slot's
+// uplink directly via ClientIngress (generator traffic through the
+// fabric). The DUT's port-0 TX path is wired to echo processed frames
+// back through the switch.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sm := sim.New()
+	dut, err := NewHostE(sm, cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		Sim:    sm,
+		DUT:    dut,
+		Switch: fnet.NewSwitch("sw0"),
+		Hist:   stats.NewHistogram(5),
+		cfg:    cfg,
+	}
+	o := dut.Observe()
+	cl.Switch.SetObserver(o)
+	reg := o.Registry()
+
+	// Server downlink: switch → DUT NIC (port 0 receives like a
+	// generator would — *nic.NIC satisfies fnet.Endpoint).
+	down := cfg.ServerLink
+	down.Name = "srv.down"
+	cl.ServerDown = fnet.NewLink(down, dut.NIC)
+	cl.ServerDown.SetObserver(o)
+	cl.ServerDown.RegisterMetrics(reg, "fabric.srv.down.")
+	cl.Switch.Route(ServerIP, cl.Switch.AddPort(cl.ServerDown))
+
+	// Server uplink: DUT TX → switch. The wire hook echoes each
+	// transmitted frame with Ethernet/IP/UDP addresses swapped, so the
+	// switch routes it back to the requesting client.
+	up := cfg.ServerLink
+	up.Name = "srv.up"
+	cl.ServerUp = fnet.NewLink(up, cl.Switch)
+	cl.ServerUp.SetObserver(o)
+	cl.ServerUp.RegisterMetrics(reg, "fabric.srv.up.")
+	dut.NIC.SetWire(func(s *sim.Simulator, p *pkt.Packet) {
+		cl.ServerUp.Receive(s, pkt.EchoResponse(p))
+	})
+
+	// Client uplinks: slot i → switch. Downlinks are created lazily by
+	// AddRPCClient (their endpoint is the client itself).
+	cl.ClientUp = make([]*fnet.Link, cfg.Clients)
+	cl.ClientDown = make([]*fnet.Link, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		lc := cfg.ClientLink
+		lc.Name = fmt.Sprintf("c%d.up", i)
+		cl.ClientUp[i] = fnet.NewLink(lc, cl.Switch)
+		cl.ClientUp[i].SetObserver(o)
+		cl.ClientUp[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.up.", i))
+	}
+	cl.Switch.RegisterMetrics(reg, "fabric.switch.")
+
+	// Fabric links are fault targets; attach in slot order so the
+	// injector's victim choice is deterministic.
+	if dut.Faults != nil {
+		dut.Faults.AttachLink(cl.ServerDown)
+		dut.Faults.AttachLink(cl.ServerUp)
+		for _, l := range cl.ClientUp {
+			dut.Faults.AttachLink(l)
+		}
+	}
+	return cl, nil
+}
+
+// ClientIngress returns slot i's uplink as a traffic.Receiver, so any
+// internal/traffic generator can be Installed onto the fabric instead
+// of injecting directly into the DUT NIC: generator → uplink → switch
+// → server downlink → NIC.
+func (cl *Cluster) ClientIngress(i int) traffic.Receiver { return cl.ClientUp[i] }
+
+// ClientFlow returns the canonical request flow for client slot i
+// targeting the NF on the given DUT core: source is the client's own
+// fabric address (responses route back by it), destination the DUT.
+func (cl *Cluster) ClientFlow(i, core int) traffic.Flow {
+	return traffic.Flow{
+		Src: ClientIP(i), Dst: ServerIP,
+		SrcPort: uint16(7000 + i), DstPort: uint16(9000 + core),
+		FrameLen: pkt.MTUFrameLen,
+	}
+}
+
+// AddRPCClient installs an RPC client on slot i whose requests are
+// served by the NF on the given DUT core: it builds the slot's
+// downlink, routes the client's address to it, pins the flow to the
+// core with an EP Flow Director rule, and shares the cluster-wide
+// latency histogram. A zero ccfg.Flow defaults to ClientFlow(i, core).
+func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Client {
+	if cl.ClientDown[i] != nil {
+		panic(fmt.Sprintf("idio: client slot %d already has an RPC client", i))
+	}
+	if ccfg.Flow == (traffic.Flow{}) {
+		ccfg.Flow = cl.ClientFlow(i, core)
+	}
+	if ccfg.Hist == nil {
+		ccfg.Hist = cl.Hist
+	}
+	c := fnet.NewClient(ccfg, cl.ClientUp[i])
+	o := cl.DUT.Observe()
+	reg := o.Registry()
+
+	lc := cl.cfg.ClientLink
+	lc.Name = fmt.Sprintf("c%d.down", i)
+	cl.ClientDown[i] = fnet.NewLink(lc, c)
+	cl.ClientDown[i].SetObserver(o)
+	cl.ClientDown[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.down.", i))
+	cl.Switch.Route(ccfg.Flow.Src, cl.Switch.AddPort(cl.ClientDown[i]))
+	if cl.DUT.Faults != nil {
+		cl.DUT.Faults.AttachLink(cl.ClientDown[i])
+	}
+
+	cl.DUT.FlowDir.AddEPRule(ccfg.Flow.Tuple(), core)
+	c.RegisterMetrics(reg, fmt.Sprintf("rpc.c%d.", i))
+	cl.Clients = append(cl.Clients, c)
+	return c
+}
+
+// Start launches the DUT (cores, controller, injectors) and every
+// installed RPC client. Calling it more than once is a no-op.
+func (cl *Cluster) Start() {
+	if cl.started {
+		return
+	}
+	cl.started = true
+	cl.DUT.Start()
+	for _, c := range cl.Clients {
+		c.Start(cl.Sim)
+	}
+}
+
+// Idle reports whether the whole topology has drained: DUT rings
+// empty, no packet queued/serializing/propagating on any link, and
+// every RPC client out of budget with no request awaiting a response
+// or timeout.
+func (cl *Cluster) Idle() bool {
+	if !cl.DUT.idle() {
+		return false
+	}
+	for _, l := range cl.links() {
+		if l.InFlight() != 0 {
+			return false
+		}
+	}
+	for _, c := range cl.Clients {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// links returns every fabric link in slot order (nil downlinks of
+// empty client slots are skipped).
+func (cl *Cluster) links() []*fnet.Link {
+	ls := []*fnet.Link{cl.ServerDown, cl.ServerUp}
+	for _, l := range cl.ClientUp {
+		ls = append(ls, l)
+	}
+	for _, l := range cl.ClientDown {
+		if l != nil {
+			ls = append(ls, l)
+		}
+	}
+	return ls
+}
+
+// Run starts the cluster (if needed) and executes until the horizon.
+func (cl *Cluster) Run(horizon sim.Duration) Results {
+	cl.Start()
+	cl.Sim.RunUntil(sim.Time(horizon))
+	return cl.Collect()
+}
+
+// RunUntilIdle executes until the topology drains (all clients done,
+// fabric and rings empty), bounded by the horizon — the natural run
+// mode for a fixed request budget.
+func (cl *Cluster) RunUntilIdle(horizon sim.Duration) Results {
+	cl.Start()
+	// The DUT's polling loops never terminate, so run in slices and
+	// stop when the topology has drained (see System.RunUntilIdle).
+	step := 100 * sim.Microsecond
+	for t := sim.Duration(0); t < horizon; t += step {
+		cl.Sim.RunUntil(sim.Time(t + step))
+		if cl.Sim.Err() != nil || cl.Idle() {
+			break
+		}
+	}
+	return cl.Collect()
+}
+
+// Err reports a structured abort (watchdog trip) from the last run.
+func (cl *Cluster) Err() error { return cl.Sim.Err() }
+
+// Collect snapshots the DUT's results and attaches the fabric and RPC
+// summaries.
+func (cl *Cluster) Collect() Results {
+	r := cl.DUT.Collect()
+	f := &FabricResults{Switch: cl.Switch.Stats()}
+	for _, l := range cl.links() {
+		f.Links = append(f.Links, LinkResult{Name: l.Name(), Stats: l.Stats()})
+	}
+	r.Fabric = f
+	if len(cl.Clients) > 0 {
+		rpc := &RPCResults{}
+		var rxBytes uint64
+		var first, last sim.Time
+		for i, c := range cl.Clients {
+			st := c.Stats()
+			rpc.Issued += st.Issued
+			rpc.Responses += st.Responses
+			rpc.Timeouts += st.Timeouts
+			rpc.Late += st.Late
+			rxBytes += c.RxBytes()
+			if fs := c.FirstSend(); i == 0 || fs < first {
+				first = fs
+			}
+			if lr := c.LastResp(); lr > last {
+				last = lr
+			}
+		}
+		rpc.GoodputBps = fnet.GoodputBps(rxBytes, first, last)
+		if cl.Hist.Count() > 0 {
+			rpc.P50 = cl.Hist.Quantile(0.50)
+			rpc.P99 = cl.Hist.Quantile(0.99)
+			rpc.P999 = cl.Hist.Quantile(0.999)
+		}
+		r.RPC = rpc
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package idio
+
+import (
+	"bytes"
+	"testing"
+
+	"idio/internal/apps"
+	"idio/internal/core"
+	fnet "idio/internal/net"
+	"idio/internal/sim"
+)
+
+// runThreeClientCluster wires the canonical small topology — 2 DUT
+// cores running L2Fwd, 3 closed-loop clients — runs it to completion,
+// and returns the full stats dump.
+func runThreeClientCluster(t *testing.T, pol core.Policy) (Results, []byte) {
+	t.Helper()
+	ccfg := DefaultClusterConfig(2, 3)
+	ccfg.Host.Policy = pol
+	cl, err := NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	for c := 0; c < 2; c++ {
+		cl.DUT.AddNF(c, apps.L2Fwd{}, cl.DUT.DefaultFlow(c))
+	}
+	for i := 0; i < 3; i++ {
+		cl.AddRPCClient(i, i%2, fnet.ClientConfig{
+			Mode: fnet.ModeClosed, Outstanding: 8, Requests: 512,
+		})
+	}
+	res := cl.RunUntilIdle(20 * sim.Millisecond)
+	if err := cl.Err(); err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteStats(&buf); err != nil {
+		t.Fatalf("WriteStats: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestClusterEndToEnd checks the full request/response journey:
+// every request crosses the fabric, is echoed by the DUT, and returns
+// to its issuing client, with fabric conservation holding on every
+// link.
+func TestClusterEndToEnd(t *testing.T) {
+	res, _ := runThreeClientCluster(t, core.PolicyIDIO)
+	if res.RPC == nil || res.Fabric == nil {
+		t.Fatalf("cluster results missing RPC/Fabric sections")
+	}
+	const want = 3 * 512
+	if res.RPC.Issued != want || res.RPC.Responses != want {
+		t.Fatalf("issued=%d responses=%d, want %d each (lossless topology)",
+			res.RPC.Issued, res.RPC.Responses, want)
+	}
+	if res.RPC.Timeouts != 0 || res.RPC.Late != 0 {
+		t.Fatalf("timeouts=%d late=%d on a lossless topology", res.RPC.Timeouts, res.RPC.Late)
+	}
+	if res.RPC.GoodputBps <= 0 || res.RPC.P50 <= 0 || res.RPC.P999 < res.RPC.P50 {
+		t.Fatalf("degenerate RPC summary: %+v", *res.RPC)
+	}
+	for _, l := range res.Fabric.Links {
+		st := l.Stats
+		if st.TailDrops != 0 || st.DownDrops != 0 {
+			t.Fatalf("link %s dropped (tail=%d down=%d) on an uncongested run", l.Name, st.TailDrops, st.DownDrops)
+		}
+		if st.Delivered != st.TxPackets {
+			t.Fatalf("link %s: delivered %d of %d accepted after drain", l.Name, st.Delivered, st.TxPackets)
+		}
+	}
+	// Requests and responses each cross the switch once.
+	if got := res.Fabric.Switch.Forwarded; got != 2*want {
+		t.Fatalf("switch forwarded %d, want %d (each request + response once)", got, 2*want)
+	}
+	if res.Fabric.Switch.NoRoute != 0 || res.Fabric.Switch.ParseDrops != 0 {
+		t.Fatalf("switch drops on a fully-routed topology: %+v", res.Fabric.Switch)
+	}
+}
+
+// TestClusterDeterministicReplay runs the 3-client topology twice per
+// policy and requires byte-identical stats dumps — the fabric must
+// inherit the simulator's bit-identical replay guarantee.
+func TestClusterDeterministicReplay(t *testing.T) {
+	for _, pol := range []core.Policy{core.PolicyDDIO, core.PolicyIDIO} {
+		_, a := runThreeClientCluster(t, pol)
+		_, b := runThreeClientCluster(t, pol)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: replay diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", pol.Name(), a, b)
+		}
+	}
+}

@@ -15,9 +15,12 @@
 //	idiosim -scenario s.json -metrics-interval 10us -metrics m.csv
 //	                                      # periodic metric snapshots as CSV
 //	idiosim -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	idiosim -exp rpc                      # latency-vs-load over the fabric
+//	idiosim -exp rpc -scenario scenarios/rpc_closed_loop.json
+//	                                      # sweep parameterised by a topology
 //
 // Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
-// ablations degradation verify all.
+// ablations degradation rpc verify all.
 //
 // Every experiment cell simulates an independent System, so -j only
 // changes wall-clock time: the tables and CSVs are byte-identical for
@@ -42,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|verify|all")
+	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|rpc|verify|all")
 	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
 	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
 	par := flag.Int("j", 1, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = serial)")
@@ -79,7 +82,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *scenarioPath != "" {
+	// -exp rpc composes with -scenario: the scenario's topology
+	// parameterises the sweep instead of replacing it, so the short-
+	// circuit below is skipped in that combination.
+	if *scenarioPath != "" && *exp == "rpc" {
+		sc, err := loadScenario(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		r.rpcScenario = &sc
+	} else if *scenarioPath != "" {
 		opts := scenarioOpts{
 			statsPath:       *statsPath,
 			jsonPath:        *jsonPath,
@@ -106,7 +118,7 @@ func main() {
 		return
 	}
 
-	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation"}
+	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation", "rpc"}
 	targets := []string{*exp}
 	if *exp == "all" {
 		targets = all
@@ -140,6 +152,9 @@ type runner struct {
 	csvDir string
 	quick  bool
 	par    int
+	// rpcScenario, when set, parameterises -exp rpc from a scenario
+	// file's topology section.
+	rpcScenario *scenario.Scenario
 }
 
 // scale shrinks a figure's geometry for -quick runs.
@@ -285,6 +300,26 @@ func (r *runner) run(name string, w io.Writer) error {
 			"Latency breakdown (us): notification / queueing / service",
 			experiment.BreakdownHeader(), experiment.Rows(rows))
 
+	case "rpc":
+		opts := experiment.DefaultRPCOpts()
+		opts.Parallelism = r.par
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+			opts.Requests = 512
+			opts.LoadsGbps = []float64{5, 15, 25}
+			opts.Windows = []int{1, 16}
+		}
+		if r.rpcScenario != nil {
+			if err := applyRPCScenario(&opts, r.rpcScenario); err != nil {
+				return err
+			}
+		}
+		rows := experiment.RPC(opts)
+		return experiment.WriteTable(w,
+			"RPC: end-to-end latency vs offered load over the fabric (DDIO vs IDIO)",
+			experiment.RPCHeader(), experiment.Rows(rows))
+
 	case "degradation":
 		opts := experiment.DefaultDegradationOpts()
 		opts.Parallelism = r.par
@@ -354,6 +389,78 @@ func (r *runner) csv(name string, series ...experiment.Series) error {
 	}
 	defer f.Close()
 	return experiment.WriteSeriesCSV(f, series...)
+}
+
+// loadScenario parses and validates a scenario file.
+func loadScenario(path string) (scenario.Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return scenario.Scenario{}, err
+	}
+	defer f.Close()
+	return scenario.Load(f)
+}
+
+// applyRPCScenario maps a scenario's topology onto the RPC sweep:
+// geometry (cores, clients, links, ring) and request shape come from
+// the file, and the scenario's own operating point is folded into the
+// swept axis so the curve always includes it.
+func applyRPCScenario(o *experiment.RPCOpts, sc *scenario.Scenario) error {
+	topo := sc.Topology
+	if topo == nil {
+		return fmt.Errorf("scenario %q has no topology section; -exp rpc needs one", sc.Name)
+	}
+	o.Cores = sc.Cores
+	o.Clients = topo.Clients
+	o.Link = topo.ClientLink.LinkConfig()
+	if sc.RingSize > 0 {
+		o.RingSize = sc.RingSize
+	}
+	if sc.HorizonMS > 0 {
+		o.Horizon = sim.Duration(sc.HorizonMS * float64(sim.Millisecond))
+	}
+	rpc := topo.RPC
+	if rpc == nil {
+		return nil
+	}
+	if rpc.FrameLen > 0 {
+		o.FrameLen = rpc.FrameLen
+	}
+	if rpc.Requests > 0 {
+		o.Requests = rpc.Requests
+	}
+	if rpc.TimeoutUS > 0 {
+		o.Timeout = sim.Duration(rpc.TimeoutUS * float64(sim.Microsecond))
+	}
+	switch rpc.Mode {
+	case "closed":
+		if rpc.Outstanding > 0 && !containsInt(o.Windows, rpc.Outstanding) {
+			o.Windows = append(o.Windows, rpc.Outstanding)
+		}
+	case "open", "ramp":
+		if rpc.Gbps > 0 && !containsFloat(o.LoadsGbps, rpc.Gbps) {
+			o.LoadsGbps = append(o.LoadsGbps, rpc.Gbps)
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsFloat(xs []float64, x float64) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // scenarioOpts bundles the -scenario output flags.

@@ -18,10 +18,14 @@
 package idio
 
 import (
+	"errors"
+	"fmt"
+
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
 	"idio/internal/fault"
 	"idio/internal/hier"
+	fnet "idio/internal/net"
 	"idio/internal/nic"
 	"idio/internal/obs"
 	"idio/internal/sim"
@@ -104,6 +108,54 @@ func Gem5Config() Config {
 	cfg := DefaultConfig(2)
 	cfg.Hier.LLCSize = 3 << 20
 	return cfg
+}
+
+// ClusterConfig describes a multi-host topology: one DUT server (a
+// full System) plus N client host slots, connected through a switch by
+// point-to-point links (see Cluster).
+type ClusterConfig struct {
+	// Host configures the DUT server.
+	Host Config
+	// Clients is the number of client host slots.
+	Clients int
+	// ClientLink is the per-client link template (Name is assigned per
+	// slot: "c<i>.up" toward the switch, "c<i>.down" back).
+	ClientLink fnet.LinkConfig
+	// ServerLink is the server-side link template ("srv.down" into the
+	// DUT NIC, "srv.up" for responses).
+	ServerLink fnet.LinkConfig
+}
+
+// DefaultClusterConfig builds a topology matching the paper's testbed
+// scale: the Table I server with numCores cores, nClients clients on
+// 100 GbE links with 2 µs one-way propagation delay.
+func DefaultClusterConfig(numCores, nClients int) ClusterConfig {
+	link := fnet.LinkConfig{
+		RateBps: 100e9,
+		Delay:   2 * sim.Microsecond,
+	}
+	return ClusterConfig{
+		Host:       DefaultConfig(numCores),
+		Clients:    nClients,
+		ClientLink: link,
+		ServerLink: link,
+	}
+}
+
+// Validate checks the topology parameters (the Host config is
+// validated separately by NewHostE).
+func (c ClusterConfig) Validate() error {
+	var errs []error
+	if c.Clients <= 0 {
+		errs = append(errs, fmt.Errorf("idio: cluster needs at least one client slot, got %d", c.Clients))
+	}
+	if c.ClientLink.RateBps <= 0 {
+		errs = append(errs, fmt.Errorf("idio: cluster client-link rate %d must be positive", c.ClientLink.RateBps))
+	}
+	if c.ServerLink.RateBps <= 0 {
+		errs = append(errs, fmt.Errorf("idio: cluster server-link rate %d must be positive", c.ServerLink.RateBps))
+	}
+	return errors.Join(errs...)
 }
 
 // NumCores returns the configured core count.

@@ -144,9 +144,24 @@ type Env struct {
 // Transmit forwards a slot's payload back out of the port it arrived
 // on (zero-copy TX), invoking done when the TX DMA reads complete.
 // This is the lightweight egress model; TransmitQueued drives the
-// full TX-descriptor-ring path.
+// full TX-descriptor-ring path. When the port has an egress wire
+// installed (a network fabric), the transmitted frame is handed to it
+// at TX completion, after done has run.
 func (e *Env) Transmit(slot *nic.Slot, payload mem.Region, done func(sim.Time)) {
-	slot.NIC().Transmit(e.Sim, payload, done)
+	port := slot.NIC()
+	if !port.HasWire() {
+		port.Transmit(e.Sim, payload, done)
+		return
+	}
+	// Capture the packet now: done typically frees the slot, and the
+	// ring clears the packet pointer on free.
+	p := slot.Pkt
+	port.Transmit(e.Sim, payload, func(t sim.Time) {
+		if done != nil {
+			done(t)
+		}
+		port.WirePacket(e.Sim, p)
+	})
 }
 
 // TransmitQueued forwards a slot's payload through the TX descriptor
@@ -163,6 +178,16 @@ func (e *Env) TransmitQueued(slot *nic.Slot, payload mem.Region, done func(sim.T
 	}
 	var lat sim.Duration
 	tx.Desc.Lines(func(l mem.LineAddr) { lat += e.Write(l) })
+	if port.HasWire() {
+		p := slot.Pkt // capture before the slot recycles
+		inner := done
+		done = func(t sim.Time) {
+			if inner != nil {
+				inner(t)
+			}
+			port.WirePacket(e.Sim, p)
+		}
+	}
 	port.KickTX(e.Sim, e.CoreID, tx, payload, done)
 	return lat, true
 }

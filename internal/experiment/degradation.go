@@ -3,19 +3,28 @@ package experiment
 import (
 	"fmt"
 
+	"idio"
 	idiocore "idio/internal/core"
 	"idio/internal/fault"
+	fnet "idio/internal/net"
 	"idio/internal/sim"
 )
 
 // DegradationRow is one cell of the fault-rate sweep: a policy run
-// under a given per-TLP fault probability, with its drop, tail-latency
-// and writeback statistics plus the same-policy fault-free baseline's
+// under a given fault intensity, with its drop, tail-latency and
+// writeback statistics plus the same-policy fault-free baseline's
 // writeback count for inflation reporting.
 type DegradationRow struct {
 	Policy idiocore.Policy
-	// Rate is the per-TLP probability of both corruption (metadata
-	// bit flip) and poisoning (discarded write).
+	// Layer names the perturbed layer: "host" sweeps per-TLP PCIe
+	// corruption plus DRAM/CPU background faults on a single-host
+	// burst; "fabric" sweeps link flaps and rate degradation on a
+	// 2-client closed-loop RPC topology.
+	Layer string
+	// Rate is the fault intensity: for host cells the per-TLP
+	// probability of both corruption (metadata bit flip) and poisoning
+	// (discarded write); for fabric cells the same value scales the
+	// flap/degradation frequency.
 	Rate float64
 
 	Processed uint64
@@ -94,26 +103,123 @@ func faultConfigFor(rate float64, seed int64) *fault.Config {
 	}
 }
 
+// fabricFaultConfigFor scales fabric adversity with the swept rate:
+// the lightest rate (0.1%) flaps a link roughly every 2 ms and opens
+// a rate-degradation window roughly every 1 ms; heavier rates shrink
+// the periods proportionally (floored so events still serialize).
+func fabricFaultConfigFor(rate float64, seed int64) *fault.Config {
+	if rate <= 0 {
+		return nil
+	}
+	scale := 0.001 / rate
+	period := func(base sim.Duration) sim.Duration {
+		d := sim.Duration(float64(base) * scale)
+		if d < 20*sim.Microsecond {
+			d = 20 * sim.Microsecond
+		}
+		return d
+	}
+	return &fault.Config{
+		Seed: seed,
+		FabricFlap: &fault.FabricFlapConfig{
+			Period: period(2 * sim.Millisecond),
+			Down:   15 * sim.Microsecond,
+		},
+		FabricDegrade: &fault.FabricDegradeConfig{
+			Period: period(1 * sim.Millisecond),
+			Factor: 0.25,
+			Length: 100 * sim.Microsecond,
+		},
+	}
+}
+
+// fabricDegradationCell runs one fabric-layer sweep point: a 2-client
+// closed-loop RPC topology (L2Fwd echo on each DUT core) whose links
+// flap and degrade at the swept intensity. P99 here is end-to-end
+// client latency, not server-side service time.
+func fabricDegradationCell(pol idiocore.Policy, rate float64, opts DegradationOpts) DegradationRow {
+	const nClients = 2
+	ccfg := idio.DefaultClusterConfig(2, nClients)
+	ccfg.Host.Policy = pol
+	ccfg.Host.Hier.LLCSize = 3 << 20 // gem5 scale, like the host cells
+	ccfg.Host.NIC.RingSize = opts.RingSize
+	if opts.MLCSize > 0 {
+		ccfg.Host.Hier.MLCSize = opts.MLCSize
+	}
+	if opts.LLCSize > 0 {
+		ccfg.Host.Hier.LLCSize = opts.LLCSize
+	}
+	ccfg.Host.Faults = fabricFaultConfigFor(rate, opts.Seed)
+	wd := sim.DefaultWatchdogConfig()
+	ccfg.Host.Watchdog = &wd
+	cl, err := idio.NewCluster(ccfg)
+	if err != nil {
+		panic(err)
+	}
+	for core := 0; core < 2; core++ {
+		cl.DUT.AddNF(core, L2Fwd.app(), cl.DUT.DefaultFlow(core))
+	}
+	for i := 0; i < nClients; i++ {
+		cl.AddRPCClient(i, i, fnet.ClientConfig{
+			Mode:        fnet.ModeClosed,
+			Outstanding: 16,
+			Requests:    2048,
+		})
+	}
+	res := cl.RunUntilIdle(opts.Horizon)
+
+	row := DegradationRow{
+		Policy:         pol,
+		Layer:          "fabric",
+		Rate:           rate,
+		Processed:      res.TotalProcessed(),
+		Drops:          res.NIC.RxDrops + res.NIC.PoolDrops + res.NIC.LinkDownDrops + res.NIC.MisSteers,
+		MLCWB:          res.Hier.MLCWriteback,
+		FaultsInjected: res.Faults.Total(),
+		MisSteers:      res.CtrlMisSteers,
+		Aborted:        res.Aborted != nil,
+	}
+	if f := res.Fabric; f != nil {
+		for _, l := range f.Links {
+			row.Drops += l.Stats.TailDrops + l.Stats.DownDrops
+		}
+	}
+	if rpc := res.RPC; rpc != nil {
+		row.P99US = rpc.P99.Microseconds()
+	}
+	return row
+}
+
 // Degradation runs the sweep: for DDIO and IDIO, a fault-free
-// baseline followed by each fault rate, reporting per-rate drops, p99
-// latency and writeback inflation. Every run arms the watchdog so a
-// fault-induced livelock surfaces as a structured abort, not a hang.
+// baseline followed by each fault rate — first on the host layer
+// (PCIe/DRAM/CPU faults on a single-host burst), then on the fabric
+// layer (link flaps and rate degradation on a closed-loop RPC
+// topology) — reporting per-rate drops, p99 latency and writeback
+// inflation. Every run arms the watchdog so a fault-induced livelock
+// surfaces as a structured abort, not a hang.
 func Degradation(opts DegradationOpts) []DegradationRow {
-	// Every (policy, rate) point is an independent cell; the per-policy
-	// zero-fault baseline (cell 0 of each policy block) supplies the
-	// WBInflation denominator once all cells return.
+	// Every (layer, policy, rate) point is an independent cell; each
+	// block's zero-fault baseline (cell 0 of the block) supplies the
+	// WBInflation denominator once all cells return. Blocks stay
+	// perPol-aligned: [DDIO host][IDIO host][DDIO fabric][IDIO fabric].
 	type cell struct {
-		pol  idiocore.Policy
-		rate float64
+		pol    idiocore.Policy
+		rate   float64
+		fabric bool
 	}
 	perPol := 1 + len(opts.Rates)
 	var cells []cell
-	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
-		for _, rate := range append([]float64{0}, opts.Rates...) {
-			cells = append(cells, cell{pol: pol, rate: rate})
+	for _, fabric := range []bool{false, true} {
+		for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+			for _, rate := range append([]float64{0}, opts.Rates...) {
+				cells = append(cells, cell{pol: pol, rate: rate, fabric: fabric})
+			}
 		}
 	}
 	rows := RunCells(opts.Parallelism, cells, func(c cell) DegradationRow {
+		if c.fabric {
+			return fabricDegradationCell(c.pol, c.rate, opts)
+		}
 		sp := DefaultSpec(c.pol)
 		sp.RingSize = opts.RingSize
 		sp.MLCSize = opts.MLCSize
@@ -128,6 +234,7 @@ func Degradation(opts DegradationOpts) []DegradationRow {
 
 		return DegradationRow{
 			Policy:         c.pol,
+			Layer:          "host",
 			Rate:           c.rate,
 			Processed:      res.TotalProcessed(),
 			Drops:          res.NIC.RxDrops + res.NIC.PoolDrops + res.NIC.LinkDownDrops + res.NIC.MisSteers,
@@ -147,12 +254,13 @@ func Degradation(opts DegradationOpts) []DegradationRow {
 
 // DegradationHeader describes the table columns.
 func DegradationHeader() []string {
-	return []string{"policy", "faultRate", "processed", "drops", "p99us", "mlcWB", "wbInfl", "injected", "missteer", "aborted"}
+	return []string{"layer", "policy", "faultRate", "processed", "drops", "p99us", "mlcWB", "wbInfl", "injected", "missteer", "aborted"}
 }
 
 // Row renders one sweep cell.
 func (r DegradationRow) Row() []string {
 	return []string{
+		r.Layer,
 		r.Policy.Name(),
 		fmt.Sprintf("%.3f", r.Rate),
 		fmt.Sprintf("%d", r.Processed),

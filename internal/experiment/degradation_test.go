@@ -17,15 +17,39 @@ func TestDegradationSweep(t *testing.T) {
 	opts.LLCSize = 768 << 10
 	rows := Degradation(opts)
 
-	perPolicy := map[string][]DegradationRow{}
+	perBlock := map[string][]DegradationRow{}
 	for _, r := range rows {
-		perPolicy[r.Policy.Name()] = append(perPolicy[r.Policy.Name()], r)
+		key := r.Layer + "/" + r.Policy.Name()
+		perBlock[key] = append(perBlock[key], r)
+	}
+	// The fabric layer rides along with its own blocks: same
+	// baseline-plus-rates shape, faults on the links instead of the
+	// host.
+	for _, layer := range []string{"host", "fabric"} {
+		for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
+			rs := perBlock[layer+"/"+pol.Name()]
+			if len(rs) != 1+len(opts.Rates) {
+				t.Fatalf("%s/%s: %d rows, want baseline + %d rates", layer, pol.Name(), len(rs), len(opts.Rates))
+			}
+			base := rs[0]
+			if base.Rate != 0 || base.FaultsInjected != 0 {
+				t.Fatalf("%s/%s: first row is not a fault-free baseline: %+v", layer, pol.Name(), base)
+			}
+			for _, r := range rs {
+				if r.Aborted {
+					t.Errorf("%s/%s rate %.3f aborted", layer, pol.Name(), r.Rate)
+				}
+				if r.Processed == 0 {
+					t.Errorf("%s/%s rate %.3f processed nothing", layer, pol.Name(), r.Rate)
+				}
+				if r.Rate > 0 && r.FaultsInjected == 0 {
+					t.Errorf("%s/%s rate %.3f injected nothing", layer, pol.Name(), r.Rate)
+				}
+			}
+		}
 	}
 	for _, pol := range []idiocore.Policy{idiocore.PolicyDDIO, idiocore.PolicyIDIO} {
-		rs := perPolicy[pol.Name()]
-		if len(rs) != 1+len(opts.Rates) {
-			t.Fatalf("%s: %d rows, want baseline + %d rates", pol.Name(), len(rs), len(opts.Rates))
-		}
+		rs := perBlock["host/"+pol.Name()]
 		base := rs[0]
 		if base.Rate != 0 || base.FaultsInjected != 0 {
 			t.Fatalf("%s: first row is not a fault-free baseline: %+v", pol.Name(), base)

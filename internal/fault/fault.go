@@ -33,6 +33,7 @@ import (
 	"idio/internal/dram"
 	"idio/internal/hier"
 	"idio/internal/mem"
+	fnet "idio/internal/net"
 	"idio/internal/nic"
 	"idio/internal/pcie"
 	"idio/internal/sim"
@@ -97,6 +98,25 @@ type SnoopThrashConfig struct {
 	Lines  int
 }
 
+// FabricFlapConfig schedules fabric link flaps: roughly every Period
+// one attached fabric link (a client uplink or the server downlink)
+// goes down for Down. Packets arriving while down are lost on the
+// wire and count as the link's DownDrops.
+type FabricFlapConfig struct {
+	Period sim.Duration
+	Down   sim.Duration
+}
+
+// FabricDegradeConfig schedules transient fabric link-rate
+// degradation: roughly every Period one attached link's effective
+// rate drops to Factor of nominal for Length (auto-negotiation
+// fallback, a congested upstream port, a flaky optic).
+type FabricDegradeConfig struct {
+	Period sim.Duration
+	Factor float64
+	Length sim.Duration
+}
+
 // CoreStallConfig schedules slow-core stalls: roughly every Period
 // one core's driver loop freezes for Stall while the NIC keeps
 // producing into its ring. Core pins the victim; -1 rotates over all
@@ -114,19 +134,22 @@ type Config struct {
 	// (and an otherwise deterministic system) are bit-identical.
 	Seed int64
 
-	PCIe        *PCIeConfig
-	LinkFlap    *LinkFlapConfig
-	DMAStall    *DMAStallConfig
-	MbufLeak    *MbufLeakConfig
-	DRAMSpike   *DRAMSpikeConfig
-	SnoopThrash *SnoopThrashConfig
-	CoreStall   *CoreStallConfig
+	PCIe          *PCIeConfig
+	LinkFlap      *LinkFlapConfig
+	DMAStall      *DMAStallConfig
+	MbufLeak      *MbufLeakConfig
+	DRAMSpike     *DRAMSpikeConfig
+	SnoopThrash   *SnoopThrashConfig
+	CoreStall     *CoreStallConfig
+	FabricFlap    *FabricFlapConfig
+	FabricDegrade *FabricDegradeConfig
 }
 
 // Enabled reports whether any injector is configured.
 func (c *Config) Enabled() bool {
 	return c != nil && (c.PCIe != nil || c.LinkFlap != nil || c.DMAStall != nil ||
-		c.MbufLeak != nil || c.DRAMSpike != nil || c.SnoopThrash != nil || c.CoreStall != nil)
+		c.MbufLeak != nil || c.DRAMSpike != nil || c.SnoopThrash != nil || c.CoreStall != nil ||
+		c.FabricFlap != nil || c.FabricDegrade != nil)
 }
 
 // Validate checks every enabled injector's parameters, returning one
@@ -204,26 +227,48 @@ func (c *Config) Validate() error {
 			bad("CoreStall.Core %d must be -1 (rotate) or a core index", cs.Core)
 		}
 	}
+	if f := c.FabricFlap; f != nil {
+		if f.Period <= 0 {
+			bad("FabricFlap.Period %v must be positive", f.Period)
+		}
+		if f.Down <= 0 {
+			bad("FabricFlap.Down %v must be positive", f.Down)
+		}
+	}
+	if d := c.FabricDegrade; d != nil {
+		if d.Period <= 0 {
+			bad("FabricDegrade.Period %v must be positive", d.Period)
+		}
+		if d.Factor <= 0 || d.Factor >= 1 {
+			bad("FabricDegrade.Factor %v outside (0,1)", d.Factor)
+		}
+		if d.Length <= 0 {
+			bad("FabricDegrade.Length %v must be positive", d.Length)
+		}
+	}
 	return errors.Join(errs...)
 }
 
 // Stats is a snapshot of everything the injectors perturbed.
 type Stats struct {
-	TLPsCorrupted uint64 // metadata bit flips delivered
-	TLPsPoisoned  uint64 // write TLPs discarded at the root complex
-	LinkFlaps     uint64 // link-down windows opened
-	DMAStalls     uint64 // DMA-engine holds issued
-	MbufsLeaked   uint64 // buffers transiently stolen from pools
-	DRAMSpikes    uint64 // latency-spike windows opened
-	SnoopThrashes uint64 // directory-pressure rounds
-	DirEvictions  uint64 // entries displaced by injected pressure
-	CoreStalls    uint64 // slow-core stalls issued
+	TLPsCorrupted  uint64 // metadata bit flips delivered
+	TLPsPoisoned   uint64 // write TLPs discarded at the root complex
+	LinkFlaps      uint64 // link-down windows opened
+	DMAStalls      uint64 // DMA-engine holds issued
+	MbufsLeaked    uint64 // buffers transiently stolen from pools
+	DRAMSpikes     uint64 // latency-spike windows opened
+	SnoopThrashes  uint64 // directory-pressure rounds
+	DirEvictions   uint64 // entries displaced by injected pressure
+	CoreStalls     uint64 // slow-core stalls issued
+	FabricFlaps    uint64 // fabric link-down windows opened
+	FabricDegrades uint64 // fabric link-rate degradation windows opened
 }
 
 // Total sums every perturbation count (spike/flap windows count once).
 func (s Stats) Total() uint64 {
 	return s.TLPsCorrupted + s.TLPsPoisoned + s.LinkFlaps + s.DMAStalls +
-		s.MbufsLeaked + s.DRAMSpikes + s.SnoopThrashes + s.CoreStalls
+		s.MbufsLeaked + s.DRAMSpikes + s.SnoopThrashes + s.CoreStalls +
+		s.FabricFlaps + s.FabricDegrades
 }
 
 // Injector owns the seeded generator and the component handles, and
@@ -237,16 +282,19 @@ type Injector struct {
 	mem   *dram.DRAM
 	hier  *hier.Hierarchy
 	cores []*cpu.Core
+	links []*fnet.Link
 
-	tlpsCorrupted stats.Counter
-	tlpsPoisoned  stats.Counter
-	linkFlaps     stats.Counter
-	dmaStalls     stats.Counter
-	mbufsLeaked   stats.Counter
-	dramSpikes    stats.Counter
-	snoopThrashes stats.Counter
-	dirEvictions  stats.Counter
-	coreStalls    stats.Counter
+	tlpsCorrupted  stats.Counter
+	tlpsPoisoned   stats.Counter
+	linkFlaps      stats.Counter
+	dmaStalls      stats.Counter
+	mbufsLeaked    stats.Counter
+	dramSpikes     stats.Counter
+	snoopThrashes  stats.Counter
+	dirEvictions   stats.Counter
+	coreStalls     stats.Counter
+	fabricFlaps    stats.Counter
+	fabricDegrades stats.Counter
 
 	started bool
 }
@@ -272,18 +320,25 @@ func (in *Injector) AttachHier(h *hier.Hierarchy) { in.hier = h }
 // AttachCore registers a core as a slow-core stall target.
 func (in *Injector) AttachCore(c *cpu.Core) { in.cores = append(in.cores, c) }
 
+// AttachLink registers a fabric link as a flap / rate-degradation
+// target. Attach before Start, in deterministic order (the rng picks
+// victims by index).
+func (in *Injector) AttachLink(l *fnet.Link) { in.links = append(in.links, l) }
+
 // Stats snapshots the perturbation counters.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		TLPsCorrupted: in.tlpsCorrupted.Value(),
-		TLPsPoisoned:  in.tlpsPoisoned.Value(),
-		LinkFlaps:     in.linkFlaps.Value(),
-		DMAStalls:     in.dmaStalls.Value(),
-		MbufsLeaked:   in.mbufsLeaked.Value(),
-		DRAMSpikes:    in.dramSpikes.Value(),
-		SnoopThrashes: in.snoopThrashes.Value(),
-		DirEvictions:  in.dirEvictions.Value(),
-		CoreStalls:    in.coreStalls.Value(),
+		TLPsCorrupted:  in.tlpsCorrupted.Value(),
+		TLPsPoisoned:   in.tlpsPoisoned.Value(),
+		LinkFlaps:      in.linkFlaps.Value(),
+		DMAStalls:      in.dmaStalls.Value(),
+		MbufsLeaked:    in.mbufsLeaked.Value(),
+		DRAMSpikes:     in.dramSpikes.Value(),
+		SnoopThrashes:  in.snoopThrashes.Value(),
+		DirEvictions:   in.dirEvictions.Value(),
+		CoreStalls:     in.coreStalls.Value(),
+		FabricFlaps:    in.fabricFlaps.Value(),
+		FabricDegrades: in.fabricDegrades.Value(),
 	}
 }
 
@@ -422,6 +477,28 @@ func (in *Injector) Start(s *sim.Simulator) {
 			ev := in.hier.InjectSnoopPressure(sm.Now(), in.rng.Intn(maxInt(len(in.cores), 1)), lines)
 			in.snoopThrashes.Inc()
 			in.dirEvictions.Add(uint64(ev))
+		})
+	}
+	if f := in.cfg.FabricFlap; f != nil && len(in.links) > 0 {
+		in.chain(s, f.Period, func(sm *sim.Simulator) {
+			link := in.links[in.rng.Intn(len(in.links))]
+			if link.Down() {
+				return // already down from an overlapping flap
+			}
+			link.SetDown(true)
+			in.fabricFlaps.Inc()
+			sm.After(f.Down, func(*sim.Simulator) { link.SetDown(false) })
+		})
+	}
+	if d := in.cfg.FabricDegrade; d != nil && len(in.links) > 0 {
+		in.chain(s, d.Period, func(sm *sim.Simulator) {
+			link := in.links[in.rng.Intn(len(in.links))]
+			if link.RateFactor() != 1 {
+				return // a degradation window is already active
+			}
+			link.SetRateFactor(d.Factor)
+			in.fabricDegrades.Inc()
+			sm.After(d.Length, func(*sim.Simulator) { link.SetRateFactor(1) })
 		})
 	}
 	if cs := in.cfg.CoreStall; cs != nil && len(in.cores) > 0 {

@@ -1,0 +1,342 @@
+package net
+
+import (
+	"fmt"
+
+	"idio/internal/obs"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+	"idio/internal/stats"
+	"idio/internal/traffic"
+)
+
+// Mode selects how a Client offers load.
+type Mode int
+
+const (
+	// ModeOpen issues requests at a fixed rate regardless of responses
+	// (like traffic.Steady, but through the fabric and response-aware).
+	ModeOpen Mode = iota
+	// ModeClosed keeps a fixed number of requests outstanding: each
+	// response (or timeout) triggers the next request, so offered load
+	// reacts to service latency — the classic closed-loop client.
+	ModeClosed
+	// ModeRamp issues open-loop but sweeps the rate linearly from
+	// RateBps to RampToBps across the request budget.
+	ModeRamp
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOpen:
+		return "open"
+	case ModeClosed:
+		return "closed"
+	case ModeRamp:
+		return "ramp"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultTimeout bounds how long a closed-loop client waits for a
+// response before reissuing the window slot.
+const DefaultTimeout = sim.Duration(1) * sim.Millisecond
+
+// ClientConfig describes one RPC client.
+type ClientConfig struct {
+	// Flow is the request template: Src must be the client's address
+	// (the switch routes responses back by it), Dst the server's.
+	Flow traffic.Flow
+	Mode Mode
+	// RateBps is the offered rate for open/ramp modes.
+	RateBps int64
+	// RampToBps is the final rate for ModeRamp.
+	RampToBps int64
+	// Outstanding is the closed-loop window (ModeClosed).
+	Outstanding int
+	// Requests bounds the run: total requests this client issues.
+	Requests uint64
+	// Start delays the first request.
+	Start sim.Time
+	// Timeout bounds the closed-loop wait per request; 0 means
+	// DefaultTimeout. A timed-out slot reissues so lost packets cannot
+	// deadlock the window.
+	Timeout sim.Duration
+	// Hist, when non-nil, additionally records every response latency
+	// into this shared histogram (aggregate percentiles across
+	// clients). Each client always keeps its own histogram too.
+	Hist *stats.Histogram
+}
+
+// ClientStats summarises one client's run.
+type ClientStats struct {
+	Issued    uint64
+	Responses uint64
+	// Timeouts counts closed-loop window slots reissued after the
+	// response deadline; Late counts responses that arrived after
+	// their slot timed out (recorded in neither latency nor goodput).
+	Timeouts uint64
+	Late     uint64
+	// GoodputBps is response payload bits per second of wall time from
+	// first request sent to last response received.
+	GoodputBps float64
+	P50        sim.Duration
+	P99        sim.Duration
+	P999       sim.Duration
+}
+
+// Client is one simulated client host: a lightweight request issuer
+// (no cache hierarchy) driving requests up its attached link and
+// matching responses by sequence number.
+type Client struct {
+	cfg  ClientConfig
+	up   *Link
+	hist *stats.Histogram
+
+	inflight map[uint64]sim.Time // seq → send time
+	issued   uint64
+	resp     uint64
+	timeouts uint64
+	late     uint64
+	rxBytes  uint64
+
+	firstSend sim.Time
+	lastResp  sim.Time
+	sentAny   bool
+	started   bool
+}
+
+// NewClient builds a client sending requests into up. The flow
+// template is validated eagerly so a malformed config fails at build
+// time, not mid-run.
+func NewClient(cfg ClientConfig, up *Link) *Client {
+	if up == nil {
+		panic("net: client needs an uplink")
+	}
+	if cfg.Requests == 0 {
+		panic("net: client needs a request budget")
+	}
+	if cfg.Flow.FrameLen == 0 {
+		cfg.Flow.FrameLen = pkt.MTUFrameLen
+	}
+	if _, err := cfg.Flow.Packet(0); err != nil {
+		panic(fmt.Sprintf("net: client flow: %v", err))
+	}
+	switch cfg.Mode {
+	case ModeOpen:
+		if cfg.RateBps <= 0 {
+			panic("net: open-loop client needs RateBps")
+		}
+	case ModeClosed:
+		if cfg.Outstanding <= 0 {
+			panic("net: closed-loop client needs Outstanding")
+		}
+	case ModeRamp:
+		if cfg.RateBps <= 0 || cfg.RampToBps <= 0 {
+			panic("net: ramping client needs RateBps and RampToBps")
+		}
+	default:
+		panic(fmt.Sprintf("net: unknown client mode %d", cfg.Mode))
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Client{
+		cfg:      cfg,
+		up:       up,
+		hist:     stats.NewHistogram(5),
+		inflight: make(map[uint64]sim.Time),
+	}
+}
+
+// Flow returns the client's request flow template.
+func (c *Client) Flow() traffic.Flow { return c.cfg.Flow }
+
+// Start schedules the client's first request(s). Call once.
+func (c *Client) Start(s *sim.Simulator) {
+	if c.started {
+		panic("net: client already started")
+	}
+	c.started = true
+	s.AtNamed(c.cfg.Start, "client-start", func(sm *sim.Simulator) {
+		switch c.cfg.Mode {
+		case ModeClosed:
+			// Fill the window back-to-back; the uplink serializes.
+			w := uint64(c.cfg.Outstanding)
+			if w > c.cfg.Requests {
+				w = c.cfg.Requests
+			}
+			for i := uint64(0); i < w; i++ {
+				c.send(sm)
+			}
+		default:
+			c.sendPaced(sm)
+		}
+	})
+}
+
+// gap returns the open-loop inter-request spacing for the request
+// about to be issued (ramp mode interpolates the rate linearly across
+// the request budget).
+func (c *Client) gap() sim.Duration {
+	rate := c.cfg.RateBps
+	if c.cfg.Mode == ModeRamp && c.cfg.Requests > 1 {
+		rate += int64(float64(c.cfg.RampToBps-c.cfg.RateBps) *
+			float64(c.issued) / float64(c.cfg.Requests-1))
+		if rate < 1 {
+			rate = 1
+		}
+	}
+	return traffic.InterArrival(rate, c.cfg.Flow.FrameLen)
+}
+
+// sendPaced issues one open/ramp request and schedules the next.
+func (c *Client) sendPaced(s *sim.Simulator) {
+	c.send(s)
+	if c.issued < c.cfg.Requests {
+		s.After(c.gap(), c.sendPaced)
+	}
+}
+
+// send issues one request at the current time and arms its timeout.
+func (c *Client) send(s *sim.Simulator) {
+	seq := c.issued
+	c.issued++
+	p, err := c.cfg.Flow.Packet(seq)
+	if err != nil {
+		panic(fmt.Sprintf("net: client: %v", err))
+	}
+	now := s.Now()
+	if !c.sentAny {
+		c.sentAny = true
+		c.firstSend = now
+	}
+	c.inflight[seq] = now
+	s.After(c.cfg.Timeout, func(sm *sim.Simulator) { c.timeout(sm, seq) })
+	c.up.Receive(s, p)
+}
+
+// timeout fires at a request's response deadline: if the response is
+// still missing, the window slot is released (and, in closed mode,
+// reissued) so fabric losses cannot stall the loop.
+func (c *Client) timeout(s *sim.Simulator, seq uint64) {
+	if _, ok := c.inflight[seq]; !ok {
+		return // answered in time
+	}
+	delete(c.inflight, seq)
+	c.timeouts++
+	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
+		c.send(s)
+	}
+}
+
+// Receive consumes one response from the fabric (implements
+// Endpoint). Responses are matched to requests by sequence number.
+func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
+	sent, ok := c.inflight[p.Seq]
+	if !ok {
+		c.late++ // timed out (or duplicate): not counted as goodput
+		return
+	}
+	delete(c.inflight, p.Seq)
+	now := s.Now()
+	lat := now.Sub(sent)
+	c.hist.Record(lat)
+	if c.cfg.Hist != nil {
+		c.cfg.Hist.Record(lat)
+	}
+	c.resp++
+	c.rxBytes += uint64(p.Len())
+	c.lastResp = now
+	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
+		c.send(s)
+	}
+}
+
+// Done reports whether the client has issued its full budget and has
+// no request awaiting a response or timeout — the fabric idle check.
+func (c *Client) Done() bool {
+	return c.issued >= c.cfg.Requests && len(c.inflight) == 0
+}
+
+// Issued returns requests sent so far.
+func (c *Client) Issued() uint64 { return c.issued }
+
+// Responses returns responses matched so far.
+func (c *Client) Responses() uint64 { return c.resp }
+
+// RxBytes returns response bytes received (matched responses only).
+func (c *Client) RxBytes() uint64 { return c.rxBytes }
+
+// FirstSend and LastResp bracket the client's active span.
+func (c *Client) FirstSend() sim.Time { return c.firstSend }
+
+// LastResp returns when the last matched response arrived.
+func (c *Client) LastResp() sim.Time { return c.lastResp }
+
+// Hist exposes the client's private latency histogram.
+func (c *Client) Hist() *stats.Histogram { return c.hist }
+
+// Stats summarises the run so far.
+func (c *Client) Stats() ClientStats {
+	st := ClientStats{
+		Issued:    c.issued,
+		Responses: c.resp,
+		Timeouts:  c.timeouts,
+		Late:      c.late,
+	}
+	if c.hist.Count() > 0 {
+		st.P50 = c.hist.Quantile(0.50)
+		st.P99 = c.hist.Quantile(0.99)
+		st.P999 = c.hist.Quantile(0.999)
+	}
+	st.GoodputBps = goodputBps(c.rxBytes, c.firstSend, c.lastResp)
+	return st
+}
+
+// GoodputBps converts bytes received over a [first,last] span to bits
+// per second (0 when the span is empty) — the goodput definition every
+// client and aggregate summary shares.
+func GoodputBps(bytes uint64, first, last sim.Time) float64 {
+	return goodputBps(bytes, first, last)
+}
+
+// goodputBps converts bytes over a [first,last] span to bits/second.
+func goodputBps(bytes uint64, first, last sim.Time) float64 {
+	span := last.Sub(first)
+	if span <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 * float64(sim.Second) / float64(span)
+}
+
+// RegisterMetrics registers the client's counters under prefix (e.g.
+// "rpc.c0.") into the observability registry.
+func (c *Client) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"issued", func() uint64 { return c.issued })
+	reg.CounterFunc(prefix+"responses", func() uint64 { return c.resp })
+	reg.CounterFunc(prefix+"timeouts", func() uint64 { return c.timeouts })
+	reg.CounterFunc(prefix+"late", func() uint64 { return c.late })
+	reg.GaugeFunc(prefix+"goodput_gbps", func() float64 {
+		return goodputBps(c.rxBytes, c.firstSend, c.lastResp) / 1e9
+	})
+	reg.GaugeFunc(prefix+"p50_us", func() float64 {
+		if c.hist.Count() == 0 {
+			return 0
+		}
+		return c.hist.Quantile(0.50).Microseconds()
+	})
+	reg.GaugeFunc(prefix+"p99_us", func() float64 {
+		if c.hist.Count() == 0 {
+			return 0
+		}
+		return c.hist.Quantile(0.99).Microseconds()
+	})
+	reg.GaugeFunc(prefix+"p999_us", func() float64 {
+		if c.hist.Count() == 0 {
+			return 0
+		}
+		return c.hist.Quantile(0.999).Microseconds()
+	})
+}

@@ -1,0 +1,227 @@
+// Package net is the discrete-event network fabric that connects
+// multiple simulated hosts on one sim.Simulator: point-to-point links
+// with configurable bandwidth, propagation delay and finite egress
+// queues (tail-drop), an output-queued switch, and closed-loop RPC
+// clients. It turns the repo's single-server model into a topology —
+// N client hosts reaching one DUT server through a switch — so
+// experiments can measure end-to-end RPC latency and goodput rather
+// than only server-side service time.
+//
+// Everything in the fabric delivers packets through the shared
+// simulator's event queue, whose same-instant FIFO ordering is
+// reproducible: two runs of the same topology are bit-identical.
+//
+// Layering: this package depends only on pkt/sim/obs/stats/traffic.
+// Multi-host assembly (a DUT System plus clients) lives in the root
+// idio package (Cluster); fault injection attaches from internal/fault.
+package net
+
+import (
+	"fmt"
+
+	"idio/internal/obs"
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// Endpoint consumes packets delivered by the fabric. *nic.NIC,
+// *Switch, *Client and *Link all satisfy it (the method is identical
+// to traffic.Receiver, so generators can target fabric ingress points
+// directly).
+type Endpoint interface {
+	Receive(s *sim.Simulator, p *pkt.Packet)
+}
+
+// LinkConfig describes one point-to-point link.
+type LinkConfig struct {
+	// Name labels the link in metrics and traces (e.g. "c0.up").
+	Name string
+	// RateBps is the serialization bandwidth in bits per second.
+	RateBps int64
+	// Delay is the propagation delay added after serialization.
+	Delay sim.Duration
+	// QueueDepth bounds the egress queue in packets; arrivals beyond
+	// it are tail-dropped. 0 means DefaultQueueDepth.
+	QueueDepth int
+}
+
+// DefaultQueueDepth is the egress queue bound used when a LinkConfig
+// leaves QueueDepth zero.
+const DefaultQueueDepth = 256
+
+// LinkStats counts one link's traffic. Conservation invariant after
+// the fabric drains: TxPackets = Delivered, and every offered packet
+// is exactly one of {TxPackets, TailDrops, DownDrops}.
+type LinkStats struct {
+	// TxPackets/TxBytes count packets accepted into the egress queue
+	// (and therefore eventually serialized).
+	TxPackets uint64
+	TxBytes   uint64
+	// Delivered/DeliveredBytes count packets handed to the far end.
+	Delivered      uint64
+	DeliveredBytes uint64
+	// TailDrops counts arrivals rejected by the full egress queue.
+	TailDrops uint64
+	// DownDrops counts arrivals lost while the link was down (flaps).
+	DownDrops uint64
+	// QueueHighWater is the deepest the egress queue ever got.
+	QueueHighWater int
+	// BusyTime accumulates serialization time (utilization = BusyTime
+	// divided by elapsed time).
+	BusyTime sim.Duration
+}
+
+// Link is a point-to-point, store-and-forward link: packets serialize
+// at RateBps in FIFO order out of a finite egress queue, then arrive
+// at the destination Endpoint after the propagation delay.
+type Link struct {
+	cfg LinkConfig
+	dst Endpoint
+
+	// rateBps is the effective rate: cfg.RateBps scaled by an injected
+	// degradation factor (SetRateFactor).
+	rateBps int64
+	factor  float64
+	down    bool
+
+	// busyUntil is when the serializer finishes its current queue.
+	busyUntil sim.Time
+	// qlen is the instantaneous egress-queue depth (packets queued or
+	// serializing); inflight additionally counts packets propagating.
+	qlen     int
+	inflight int
+
+	stats LinkStats
+	obs   *obs.Observer
+}
+
+// NewLink builds a link feeding dst. The destination may be any
+// Endpoint: a switch, a NIC, a client, or another link.
+func NewLink(cfg LinkConfig, dst Endpoint) *Link {
+	if cfg.RateBps <= 0 {
+		panic(fmt.Sprintf("net: link %q rate must be positive", cfg.Name))
+	}
+	if dst == nil {
+		panic(fmt.Sprintf("net: link %q needs a destination", cfg.Name))
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Link{cfg: cfg, dst: dst, rateBps: cfg.RateBps, factor: 1}
+}
+
+// Name returns the link's label.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// InFlight reports packets accepted but not yet delivered (queued,
+// serializing, or propagating) — the fabric's idle check.
+func (l *Link) InFlight() int { return l.inflight }
+
+// SetObserver attaches the observability layer; sampled packets emit
+// an EvLink span covering queueing + serialization + propagation.
+func (l *Link) SetObserver(o *obs.Observer) { l.obs = o }
+
+// SetDown raises or drops the link. While down, offered packets are
+// lost (DownDrops); packets already serializing or propagating still
+// arrive, matching a MAC-level flap.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is currently down.
+func (l *Link) Down() bool { return l.down }
+
+// SetRateFactor scales the link's bandwidth by f in (0,1] — the
+// transient rate-degradation fault (auto-negotiation fallback,
+// interference). Factor 1 restores the configured rate. Packets
+// already accepted keep their computed serialization times.
+func (l *Link) SetRateFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("net: link %q rate factor %v outside (0,1]", l.cfg.Name, f))
+	}
+	l.factor = f
+	l.rateBps = int64(f * float64(l.cfg.RateBps))
+	if l.rateBps < 1 {
+		l.rateBps = 1
+	}
+}
+
+// RateFactor returns the current degradation factor (1 = full rate).
+func (l *Link) RateFactor() float64 { return l.factor }
+
+// txTime returns the serialization time of n bytes at the effective
+// rate.
+func (l *Link) txTime(n int) sim.Duration {
+	return sim.Duration(int64(n) * 8 * int64(sim.Second) / l.rateBps)
+}
+
+// Receive offers one packet to the link at the current simulation
+// time (implements Endpoint, and traffic.Receiver for generators).
+// The packet is tail-dropped if the egress queue is full, lost if the
+// link is down, and otherwise delivered to the destination after
+// queueing + serialization + propagation.
+func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
+	now := s.Now()
+	if l.down {
+		l.stats.DownDrops++
+		l.traceDrop(s, p, "link-down")
+		return
+	}
+	if l.qlen >= l.cfg.QueueDepth {
+		l.stats.TailDrops++
+		l.traceDrop(s, p, "tail-drop")
+		return
+	}
+	l.qlen++
+	if l.qlen > l.stats.QueueHighWater {
+		l.stats.QueueHighWater = l.qlen
+	}
+	l.inflight++
+	l.stats.TxPackets++
+	l.stats.TxBytes += uint64(p.Len())
+
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	tx := l.txTime(p.Len())
+	end := start.Add(tx)
+	l.busyUntil = end
+	l.stats.BusyTime += tx
+
+	deliverAt := end.Add(l.cfg.Delay)
+	s.AtNamed(end, "link-tx", func(*sim.Simulator) { l.qlen-- })
+	s.AtNamed(deliverAt, "link-deliver", func(sm *sim.Simulator) {
+		l.stats.Delivered++
+		l.stats.DeliveredBytes += uint64(p.Len())
+		l.inflight--
+		if l.obs.TracingPacket(p.Seq) {
+			l.obs.Emit(obs.Event{
+				Kind: obs.EvLink, Seq: p.Seq, Core: -1, At: sm.Now(),
+				Dur: sm.Now().Sub(now), Bytes: p.Len(), Arg: l.cfg.Name,
+			})
+		}
+		l.dst.Receive(sm, p)
+	})
+}
+
+// traceDrop emits a drop event for a sampled packet.
+func (l *Link) traceDrop(s *sim.Simulator, p *pkt.Packet, reason string) {
+	if l.obs.TracingPacket(p.Seq) {
+		l.obs.Emit(obs.Event{Kind: obs.EvDrop, Seq: p.Seq, Core: -1, At: s.Now(), Bytes: p.Len(), Arg: reason})
+	}
+}
+
+// RegisterMetrics registers the link's counter set under prefix (e.g.
+// "fabric.c0.up.") into the observability registry.
+func (l *Link) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"tx_packets", func() uint64 { return l.stats.TxPackets })
+	reg.CounterFunc(prefix+"tx_bytes", func() uint64 { return l.stats.TxBytes })
+	reg.CounterFunc(prefix+"delivered", func() uint64 { return l.stats.Delivered })
+	reg.CounterFunc(prefix+"rx_bytes", func() uint64 { return l.stats.DeliveredBytes })
+	reg.CounterFunc(prefix+"tail_drops", func() uint64 { return l.stats.TailDrops })
+	reg.CounterFunc(prefix+"down_drops", func() uint64 { return l.stats.DownDrops })
+	reg.GaugeFunc(prefix+"queue_hwm", func() float64 { return float64(l.stats.QueueHighWater) })
+	reg.GaugeFunc(prefix+"busy_us", func() float64 { return l.stats.BusyTime.Microseconds() })
+}

@@ -110,6 +110,13 @@ type NIC struct {
 	// for sampled packets. A nil observer costs one branch per packet.
 	obs *obs.Observer
 
+	// wire is the egress hook: when set, every transmitted packet is
+	// handed to it at TX-DMA completion time (the instant the frame
+	// would hit the wire). The network fabric installs it to carry NF
+	// responses back to clients; nil (the default) keeps the historical
+	// transmit-and-forget behaviour.
+	wire func(s *sim.Simulator, p *pkt.Packet)
+
 	stats Stats
 }
 
@@ -162,6 +169,25 @@ func (n *NIC) SetCompletionHook(q int, fn func(*sim.Simulator)) {
 // SetObserver attaches the observability layer. A nil observer (the
 // default) disables all trace emission at the cost of one branch.
 func (n *NIC) SetObserver(o *obs.Observer) { n.obs = o }
+
+// SetWire installs the egress hook: fn receives every transmitted
+// packet at its TX-DMA completion time. Nil (the default) disables
+// egress delivery — TX stays the historical transmit-and-forget path,
+// so single-host runs are unaffected.
+func (n *NIC) SetWire(fn func(s *sim.Simulator, p *pkt.Packet)) { n.wire = fn }
+
+// HasWire reports whether an egress hook is installed; callers use it
+// to skip packet capture entirely on the historical path.
+func (n *NIC) HasWire() bool { return n.wire != nil }
+
+// WirePacket hands a transmitted packet to the egress hook, if one is
+// installed. The software stack calls it from TX done callbacks with
+// the packet captured before the slot was recycled.
+func (n *NIC) WirePacket(s *sim.Simulator, p *pkt.Packet) {
+	if n.wire != nil && p != nil {
+		n.wire(s, p)
+	}
+}
 
 // Ring returns queue q's descriptor ring.
 func (n *NIC) Ring(q int) *Ring { return n.rings[q] }

@@ -28,15 +28,17 @@ func (n *NullSink) Close() error { return nil }
 // activity, NIC/PCIe activity, and cache/memory activity each get a
 // process row, with one thread per core inside it.
 const (
-	pidCores = 0
-	pidNIC   = 1
-	pidMem   = 2
+	pidCores  = 0
+	pidNIC    = 1
+	pidMem    = 2
+	pidFabric = 3
 )
 
 var pidNames = map[int]string{
-	pidCores: "cores",
-	pidNIC:   "nic/pcie",
-	pidMem:   "cache/mem",
+	pidCores:  "cores",
+	pidNIC:    "nic/pcie",
+	pidMem:    "cache/mem",
+	pidFabric: "fabric",
 }
 
 // ChromeSink writes the Chrome trace-event JSON format (the
@@ -137,6 +139,14 @@ func (s *ChromeSink) Emit(e Event) {
 	case EvFree:
 		s.write("free", 'i', pidCores, tid(e.Core), ts, 0,
 			fmt.Sprintf(`"seq":%d`, e.Seq))
+	case EvLink:
+		// The span ends at delivery time; shift back by Dur so it
+		// covers egress queueing + serialization + propagation.
+		s.write("link", 'X', pidFabric, 0, ts-e.Dur.Microseconds(), e.Dur.Microseconds(),
+			fmt.Sprintf(`"seq":%d,"bytes":%d,"link":%q`, e.Seq, e.Bytes, e.Arg))
+	case EvSwitch:
+		s.write("switch", 'i', pidFabric, 0, ts, 0,
+			fmt.Sprintf(`"seq":%d,"port":%d,"switch":%q`, e.Seq, tid(e.Core), e.Arg))
 	}
 }
 
@@ -167,7 +177,11 @@ func (s *ChromeSink) Close() error {
 	}
 	for _, t := range tracks {
 		s.sep()
-		fmt.Fprintf(s.w, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"core %d"}}`, t[0], t[1], t[1])
+		name := fmt.Sprintf("core %d", t[1])
+		if t[0] == pidFabric {
+			name = "wire"
+		}
+		fmt.Fprintf(s.w, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, t[0], t[1], name)
 	}
 	s.w.WriteString("\n]}\n")
 	if err := s.w.Flush(); err != nil {

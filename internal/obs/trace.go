@@ -31,6 +31,13 @@ const (
 	// EvFree: the slot returned to the NIC (self-invalidation happens
 	// here under the Invalidate/IDIO policies).
 	EvFree
+	// EvLink: a fabric link delivered the packet (a span: Dur covers
+	// egress queueing + serialization + propagation; Arg is the link
+	// name).
+	EvLink
+	// EvSwitch: the fabric switch forwarded the packet (Core carries
+	// the output port; Arg is the switch name).
+	EvSwitch
 )
 
 var kindNames = [...]string{
@@ -43,6 +50,8 @@ var kindNames = [...]string{
 	EvWriteback: "writeback",
 	EvDone:      "service",
 	EvFree:      "free",
+	EvLink:      "link",
+	EvSwitch:    "switch",
 }
 
 func (k EventKind) String() string {

@@ -193,6 +193,27 @@ func ipChecksum(hdr []byte) uint16 {
 	return ^uint16(sum)
 }
 
+// EchoResponse builds the reply frame for a request: a copy with the
+// Ethernet MACs, IPv4 addresses, and UDP ports each swapped, payload
+// and sequence number retained. Swapping the 16-bit-aligned source and
+// destination address words leaves the IPv4 header checksum valid (the
+// one's-complement sum is order-independent), so the reply parses like
+// any generator-built frame.
+func EchoResponse(p *Packet) *Packet {
+	f := append([]byte(nil), p.Frame...)
+	swap := func(a, b, n int) {
+		for i := 0; i < n; i++ {
+			f[a+i], f[b+i] = f[b+i], f[a+i]
+		}
+	}
+	swap(0, 6, 6) // Ethernet dst ↔ src
+	ip := EthHeaderLen
+	swap(ip+12, ip+16, 4) // IPv4 src ↔ dst
+	udp := EthHeaderLen + IPv4HeaderLen
+	swap(udp, udp+2, 2) // UDP src port ↔ dst port
+	return &Packet{Frame: f, Seq: p.Seq}
+}
+
 // SetDSCP rewrites the DS field of an already-built frame and fixes the
 // IPv4 checksum. This models applications updating their class on the
 // fly via setsockopt (Sec. V-A).

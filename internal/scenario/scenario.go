@@ -30,6 +30,7 @@ import (
 	"idio/internal/apps"
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	fnet "idio/internal/net"
 	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/traffic"
@@ -64,6 +65,58 @@ type Antagonist struct {
 	MLCKB int `json:"mlcKB,omitempty"`
 }
 
+// TopoLink describes one fabric link class.
+type TopoLink struct {
+	Gbps float64 `json:"gbps"`
+	// DelayUS is the one-way propagation delay in microseconds.
+	DelayUS float64 `json:"delayUS,omitempty"`
+	// Queue bounds the egress queue in packets (0 = default 256).
+	Queue int `json:"queue,omitempty"`
+}
+
+// LinkConfig converts to the fabric's link template (Name assigned
+// per slot by the cluster).
+func (l TopoLink) LinkConfig() fnet.LinkConfig {
+	return fnet.LinkConfig{
+		RateBps:    traffic.Gbps(l.Gbps),
+		Delay:      sim.Duration(l.DelayUS * float64(sim.Microsecond)),
+		QueueDepth: l.Queue,
+	}
+}
+
+// RPCSpec installs a closed/open-loop RPC client on every client host:
+// requests travel the fabric to the DUT, each NF core echoes them
+// back, and end-to-end latency is measured at the clients. Clients
+// round-robin over the NF cores.
+type RPCSpec struct {
+	// Mode is "open", "closed", or "ramp".
+	Mode string `json:"mode"`
+	// Gbps is the aggregate open-loop offered load across clients
+	// (open/ramp); RampToGbps is the final aggregate rate for ramp.
+	Gbps       float64 `json:"gbps,omitempty"`
+	RampToGbps float64 `json:"rampToGbps,omitempty"`
+	// Outstanding is the per-client closed-loop window.
+	Outstanding int `json:"outstanding,omitempty"`
+	// Requests is the per-client request budget.
+	Requests uint64 `json:"requests"`
+	FrameLen int    `json:"frameLen,omitempty"`
+	// TimeoutUS bounds the per-request response wait (0 = 1000).
+	TimeoutUS float64 `json:"timeoutUS,omitempty"`
+}
+
+// Topology switches the scenario from a single host to a multi-host
+// cluster: N client hosts reach the DUT through a switch over
+// point-to-point links. NF generator traffic (when present) is routed
+// through the fabric — client uplink → switch → server downlink → NIC
+// — instead of injected directly, and an optional RPC section drives
+// request/response load measured end to end.
+type Topology struct {
+	Clients    int      `json:"clients"`
+	ClientLink TopoLink `json:"clientLink"`
+	ServerLink TopoLink `json:"serverLink"`
+	RPC        *RPCSpec `json:"rpc,omitempty"`
+}
+
 // Scenario is the root document.
 type Scenario struct {
 	Name   string `json:"name"`
@@ -85,6 +138,7 @@ type Scenario struct {
 
 	NFs        []NF        `json:"nfs"`
 	Antagonist *Antagonist `json:"antagonist,omitempty"`
+	Topology   *Topology   `json:"topology,omitempty"`
 }
 
 // Save writes the scenario as indented JSON (the inverse of Load).
@@ -148,11 +202,46 @@ func (sc Scenario) Validate() error {
 			if nf.Traffic.PacketsPerBurst <= 0 || nf.Traffic.NumBursts <= 0 {
 				return fmt.Errorf("scenario %q: nf %d bursty traffic needs packetsPerBurst and numBursts", sc.Name, i)
 			}
+		case "":
+			// An NF may omit generator traffic only when topology RPC
+			// clients drive it instead.
+			if sc.Topology == nil || sc.Topology.RPC == nil {
+				return fmt.Errorf("scenario %q: nf %d needs traffic (or a topology rpc section)", sc.Name, i)
+			}
 		default:
 			return fmt.Errorf("scenario %q: nf %d unknown traffic kind %q", sc.Name, i, nf.Traffic.Kind)
 		}
-		if nf.Traffic.Gbps <= 0 {
+		if nf.Traffic.Kind != "" && nf.Traffic.Gbps <= 0 {
 			return fmt.Errorf("scenario %q: nf %d needs a positive rate", sc.Name, i)
+		}
+	}
+	if t := sc.Topology; t != nil {
+		if t.Clients <= 0 {
+			return fmt.Errorf("scenario %q: topology needs at least one client", sc.Name)
+		}
+		if t.ClientLink.Gbps <= 0 || t.ServerLink.Gbps <= 0 {
+			return fmt.Errorf("scenario %q: topology links need positive gbps", sc.Name)
+		}
+		if rpc := t.RPC; rpc != nil {
+			if rpc.Requests == 0 {
+				return fmt.Errorf("scenario %q: topology rpc needs requests", sc.Name)
+			}
+			switch rpc.Mode {
+			case "open":
+				if rpc.Gbps <= 0 {
+					return fmt.Errorf("scenario %q: open-loop rpc needs gbps", sc.Name)
+				}
+			case "closed":
+				if rpc.Outstanding <= 0 {
+					return fmt.Errorf("scenario %q: closed-loop rpc needs outstanding", sc.Name)
+				}
+			case "ramp":
+				if rpc.Gbps <= 0 || rpc.RampToGbps <= 0 {
+					return fmt.Errorf("scenario %q: ramp rpc needs gbps and rampToGbps", sc.Name)
+				}
+			default:
+				return fmt.Errorf("scenario %q: unknown rpc mode %q", sc.Name, rpc.Mode)
+			}
 		}
 	}
 	if sc.Antagonist != nil {
@@ -282,11 +371,31 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 	cfg.Obs.TraceSampleN = opts.TraceSampleN
 	cfg.Obs.MetricsInterval = opts.MetricsInterval
 
-	sys := idio.NewSystem(cfg)
+	// A topology section switches the run from a bare System to a
+	// Cluster: same DUT, but traffic reaches it over the fabric.
+	var (
+		sys *idio.System
+		cl  *idio.Cluster
+	)
+	if topo := sc.Topology; topo != nil {
+		c, err := idio.NewCluster(idio.ClusterConfig{
+			Host:       cfg,
+			Clients:    topo.Clients,
+			ClientLink: topo.ClientLink.LinkConfig(),
+			ServerLink: topo.ServerLink.LinkConfig(),
+		})
+		if err != nil {
+			return nil, idio.Results{}, 0, err
+		}
+		cl, sys = c, c.DUT
+	} else {
+		sys = idio.NewSystem(cfg)
+	}
 	if opts.TraceSink != nil {
 		sys.Observe().SetSink(opts.TraceSink)
 	}
-	for _, nf := range sc.NFs {
+	var nfCores []int
+	for i, nf := range sc.NFs {
 		app, err := appFor(nf.App, sys)
 		if err != nil {
 			return nil, idio.Results{}, 0, err
@@ -303,11 +412,19 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 			}
 		}
 		sys.AddNF(nf.Core, app, flow)
+		nfCores = append(nfCores, nf.Core)
+		// With a topology, generator traffic enters through a client
+		// host's uplink and crosses the switch; single-host scenarios
+		// keep the historical direct injection into the NIC.
+		var target traffic.Receiver = sys.NIC
+		if cl != nil {
+			target = cl.ClientIngress(i % sc.Topology.Clients)
+		}
 		switch nf.Traffic.Kind {
 		case "steady":
 			traffic.Steady{
 				Flow: flow, RateBps: traffic.Gbps(nf.Traffic.Gbps), Count: nf.Traffic.Count,
-			}.Install(sys.Sim, sys.NIC)
+			}.Install(sys.Sim, target)
 		case "bursty":
 			period := nf.Traffic.PeriodMS
 			if period == 0 {
@@ -319,7 +436,12 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 				Period:          sim.Duration(period * float64(sim.Millisecond)),
 				PacketsPerBurst: nf.Traffic.PacketsPerBurst,
 				NumBursts:       nf.Traffic.NumBursts,
-			}.Install(sys.Sim, sys.NIC)
+			}.Install(sys.Sim, target)
+		}
+	}
+	if cl != nil && sc.Topology.RPC != nil {
+		if err := installRPCClients(cl, sc.Topology, nfCores); err != nil {
+			return nil, idio.Results{}, 0, err
 		}
 	}
 	var ant *apps.LLCAntagonist
@@ -327,14 +449,59 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		buf := sys.AllocRegion(uint64(sc.Antagonist.BufKB) << 10)
 		ant = apps.NewLLCAntagonist(sc.Antagonist.Core, buf, cfg.Hier.Clock, sys.Hier, 1)
 	}
-	sys.Start()
+	if cl != nil {
+		cl.Start()
+	} else {
+		sys.Start()
+	}
 	if ant != nil {
 		ant.Start(sys.Sim)
 	}
-	res := sys.RunUntilIdle(sim.Duration(sc.HorizonMS * float64(sim.Millisecond)))
+	horizon := sim.Duration(sc.HorizonMS * float64(sim.Millisecond))
+	var res idio.Results
+	if cl != nil {
+		res = cl.RunUntilIdle(horizon)
+	} else {
+		res = sys.RunUntilIdle(horizon)
+	}
 	cpi := 0.0
 	if ant != nil {
 		cpi = ant.CPI()
 	}
 	return sys, res, cpi, nil
+}
+
+// installRPCClients attaches one RPC client per client host, round-
+// robining over the NF cores; aggregate open-loop rates split evenly
+// across clients.
+func installRPCClients(cl *idio.Cluster, topo *Topology, nfCores []int) error {
+	rpc := topo.RPC
+	var mode fnet.Mode
+	switch rpc.Mode {
+	case "open":
+		mode = fnet.ModeOpen
+	case "closed":
+		mode = fnet.ModeClosed
+	case "ramp":
+		mode = fnet.ModeRamp
+	default:
+		return fmt.Errorf("scenario: unknown rpc mode %q", rpc.Mode)
+	}
+	for i := 0; i < topo.Clients; i++ {
+		core := nfCores[i%len(nfCores)]
+		ccfg := fnet.ClientConfig{
+			Mode:        mode,
+			RateBps:     traffic.Gbps(rpc.Gbps) / int64(topo.Clients),
+			RampToBps:   traffic.Gbps(rpc.RampToGbps) / int64(topo.Clients),
+			Outstanding: rpc.Outstanding,
+			Requests:    rpc.Requests,
+			Timeout:     sim.Duration(rpc.TimeoutUS * float64(sim.Microsecond)),
+		}
+		ccfg.Flow = cl.ClientFlow(i, core)
+		if rpc.FrameLen > 0 {
+			ccfg.Flow.FrameLen = rpc.FrameLen
+		}
+		cl.AddRPCClient(i, core, ccfg)
+	}
+	return nil
 }

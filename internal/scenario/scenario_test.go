@@ -197,3 +197,128 @@ func TestCopyNFScenario(t *testing.T) {
 		t.Fatalf("processed %d", res.TotalProcessed())
 	}
 }
+
+// topologyJSON is a closed-loop RPC topology: 2 L2Fwd cores with no
+// generator traffic, 2 clients driving requests through the fabric.
+const topologyJSON = `{
+  "name": "topo",
+  "policy": "IDIO",
+  "cores": 2,
+  "ringSize": 256,
+  "mlcSizeKB": 256,
+  "llcSizeKB": 768,
+  "horizonMS": 20,
+  "nfs": [
+    {"core": 0, "app": "L2Fwd", "traffic": {}},
+    {"core": 1, "app": "L2Fwd", "traffic": {}}
+  ],
+  "topology": {
+    "clients": 2,
+    "clientLink": {"gbps": 100, "delayUS": 2},
+    "serverLink": {"gbps": 100, "delayUS": 2},
+    "rpc": {"mode": "closed", "outstanding": 8, "requests": 256}
+  }
+}`
+
+func TestTopologyScenarioRuns(t *testing.T) {
+	sc, err := Load(strings.NewReader(topologyJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RPC == nil || res.Fabric == nil {
+		t.Fatal("topology run must report RPC and Fabric sections")
+	}
+	const want = 2 * 256
+	if res.RPC.Issued != want || res.RPC.Responses != want {
+		t.Fatalf("rpc issued=%d responses=%d, want %d each", res.RPC.Issued, res.RPC.Responses, want)
+	}
+	if res.TotalProcessed() != want {
+		t.Fatalf("DUT processed %d, want %d (every request served)", res.TotalProcessed(), want)
+	}
+}
+
+// TestTopologyGeneratorTraffic: generator flows route through the
+// fabric (client uplink -> switch -> server link -> NIC) instead of
+// direct injection when a topology is present.
+func TestTopologyGeneratorTraffic(t *testing.T) {
+	doc := `{
+	  "name": "topo-gen",
+	  "policy": "DDIO",
+	  "cores": 1,
+	  "ringSize": 256,
+	  "mlcSizeKB": 256,
+	  "llcSizeKB": 768,
+	  "horizonMS": 20,
+	  "nfs": [
+	    {"core": 0, "app": "TouchDrop", "traffic": {"kind": "steady", "gbps": 5, "count": 512}}
+	  ],
+	  "topology": {
+	    "clients": 1,
+	    "clientLink": {"gbps": 100, "delayUS": 2},
+	    "serverLink": {"gbps": 100, "delayUS": 2}
+	  }
+	}`
+	sc, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProcessed() != 512 {
+		t.Fatalf("processed %d, want 512", res.TotalProcessed())
+	}
+	if res.Fabric == nil {
+		t.Fatal("topology run must report fabric stats")
+	}
+	// Requests crossed the switch once each; TouchDrop sends nothing
+	// back.
+	if res.Fabric.Switch.Forwarded != 512 {
+		t.Fatalf("switch forwarded %d, want 512", res.Fabric.Switch.Forwarded)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cases := map[string]string{
+		"no clients":        `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{"kind":"steady","gbps":1,"count":1}}],"topology":{"clientLink":{"gbps":100},"serverLink":{"gbps":100}}}`,
+		"zero link rate":    `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{"kind":"steady","gbps":1,"count":1}}],"topology":{"clients":1,"clientLink":{"gbps":0},"serverLink":{"gbps":100}}}`,
+		"rpc no requests":   `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100},"rpc":{"mode":"closed","outstanding":1}}}`,
+		"rpc bad mode":      `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100},"rpc":{"mode":"turbo","requests":1}}}`,
+		"open no gbps":      `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100},"rpc":{"mode":"open","requests":1}}}`,
+		"closed no window":  `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100},"rpc":{"mode":"closed","requests":1}}}`,
+		"no traffic no rpc": `{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100}}}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestShippedRPCScenarioRuns(t *testing.T) {
+	f, err := os.Open("../../scenarios/rpc_closed_loop.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Topology == nil || sc.Topology.RPC == nil {
+		t.Fatal("shipped rpc scenario needs a topology rpc section")
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(sc.Topology.Clients) * sc.Topology.RPC.Requests
+	if res.RPC == nil || res.RPC.Responses != want {
+		t.Fatalf("shipped scenario responses: got %+v, want %d", res.RPC, want)
+	}
+}

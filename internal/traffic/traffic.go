@@ -45,6 +45,11 @@ func (f Flow) build(seq uint64) (*pkt.Packet, error) {
 	return &pkt.Packet{Frame: frame, Seq: seq}, nil
 }
 
+// Packet builds the flow's seq-th frame — the exported form of the
+// generators' internal builder, used by fabric clients (internal/net)
+// that construct request packets outside this package.
+func (f Flow) Packet(seq uint64) (*pkt.Packet, error) { return f.build(seq) }
+
 // InterArrival returns the packet spacing for a given rate and frame
 // length (frame bits divided by rate).
 func InterArrival(rateBps int64, frameLen int) sim.Duration {

@@ -8,11 +8,43 @@ import (
 
 	"idio/internal/fault"
 	"idio/internal/hier"
+	fnet "idio/internal/net"
 	"idio/internal/nic"
 	"idio/internal/obs"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
+
+// LinkResult is one fabric link's counters, labelled by link name.
+type LinkResult struct {
+	Name  string
+	Stats fnet.LinkStats
+}
+
+// FabricResults summarises the network fabric of a Cluster run: every
+// link's counters (slot order) and the switch's forwarding decisions.
+// Nil for single-host runs.
+type FabricResults struct {
+	Links  []LinkResult
+	Switch fnet.SwitchStats
+}
+
+// RPCResults aggregates end-to-end request/response measurements
+// across every RPC client of a Cluster run. Nil when no clients ran.
+type RPCResults struct {
+	Issued    uint64
+	Responses uint64
+	Timeouts  uint64
+	Late      uint64
+	// GoodputBps is aggregate response bits per second from the first
+	// request sent to the last response received across clients.
+	GoodputBps float64
+	// P50/P99/P999 are end-to-end latency percentiles over all clients'
+	// matched responses.
+	P50  sim.Duration
+	P99  sim.Duration
+	P999 sim.Duration
+}
 
 // CoreResult summarises one core's software stack.
 type CoreResult struct {
@@ -57,6 +89,12 @@ type Results struct {
 	// Faults snapshots the fault injectors' perturbation counts; the
 	// zero value means no fault layer was configured.
 	Faults fault.Stats
+
+	// Fabric and RPC carry the network-fabric and client-side summaries
+	// of a Cluster run; both are nil for single-host runs, so existing
+	// outputs are unchanged.
+	Fabric *FabricResults
+	RPC    *RPCResults
 
 	// Aborted is non-nil when the run was stopped by the simulator
 	// watchdog rather than reaching its horizon.
@@ -323,6 +361,54 @@ func (r Results) WriteStats(w io.Writer) error {
 			{"fault.dir_evictions", r.Faults.DirEvictions},
 			{"fault.core_stalls", r.Faults.CoreStalls},
 		}...)
+		// Fabric fault keys only when a fabric was perturbed, so
+		// single-host fault runs keep their historical key set.
+		if r.Faults.FabricFlaps+r.Faults.FabricDegrades > 0 {
+			kv = append(kv, []struct {
+				k string
+				v interface{}
+			}{
+				{"fault.fabric_flaps", r.Faults.FabricFlaps},
+				{"fault.fabric_degrades", r.Faults.FabricDegrades},
+			}...)
+		}
+	}
+	if f := r.Fabric; f != nil {
+		for _, l := range f.Links {
+			kv = append(kv, []struct {
+				k string
+				v interface{}
+			}{
+				{"fabric." + l.Name + ".tx_packets", l.Stats.TxPackets},
+				{"fabric." + l.Name + ".delivered", l.Stats.Delivered},
+				{"fabric." + l.Name + ".tail_drops", l.Stats.TailDrops},
+				{"fabric." + l.Name + ".down_drops", l.Stats.DownDrops},
+				{"fabric." + l.Name + ".queue_hwm", l.Stats.QueueHighWater},
+			}...)
+		}
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
+			{"fabric.switch.forwarded", f.Switch.Forwarded},
+			{"fabric.switch.no_route", f.Switch.NoRoute},
+			{"fabric.switch.parse_drops", f.Switch.ParseDrops},
+		}...)
+	}
+	if rpc := r.RPC; rpc != nil {
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
+			{"rpc.issued", rpc.Issued},
+			{"rpc.responses", rpc.Responses},
+			{"rpc.timeouts", rpc.Timeouts},
+			{"rpc.late", rpc.Late},
+			{"rpc.goodput_gbps", fmt.Sprintf("%.3f", rpc.GoodputBps/1e9)},
+			{"rpc.p50_us", fmt.Sprintf("%.3f", rpc.P50.Microseconds())},
+			{"rpc.p99_us", fmt.Sprintf("%.3f", rpc.P99.Microseconds())},
+			{"rpc.p999_us", fmt.Sprintf("%.3f", rpc.P999.Microseconds())},
+		}...)
 	}
 	for _, e := range kv {
 		if _, err := fmt.Fprintf(w, "%-30s %v\n", e.k, e.v); err != nil {
@@ -368,6 +454,24 @@ func (r Results) String() string {
 			r.Faults.TLPsCorrupted, r.Faults.TLPsPoisoned, r.Faults.LinkFlaps,
 			r.Faults.DMAStalls, r.Faults.MbufsLeaked, r.Faults.DRAMSpikes,
 			r.Faults.SnoopThrashes, r.Faults.CoreStalls, r.CtrlMisSteers)
+	}
+	if r.Faults.FabricFlaps+r.Faults.FabricDegrades > 0 {
+		fmt.Fprintf(&b, "  fabric faults: flaps=%d degrades=%d\n",
+			r.Faults.FabricFlaps, r.Faults.FabricDegrades)
+	}
+	if f := r.Fabric; f != nil {
+		var tail, down uint64
+		for _, l := range f.Links {
+			tail += l.Stats.TailDrops
+			down += l.Stats.DownDrops
+		}
+		fmt.Fprintf(&b, "  fabric: forwarded=%d noroute=%d tailDrops=%d downDrops=%d\n",
+			f.Switch.Forwarded, f.Switch.NoRoute, tail, down)
+	}
+	if rpc := r.RPC; rpc != nil {
+		fmt.Fprintf(&b, "  rpc: issued=%d resp=%d timeouts=%d late=%d goodput=%.2fGbps p50=%.2fus p99=%.2fus p999=%.2fus\n",
+			rpc.Issued, rpc.Responses, rpc.Timeouts, rpc.Late, rpc.GoodputBps/1e9,
+			rpc.P50.Microseconds(), rpc.P99.Microseconds(), rpc.P999.Microseconds())
 	}
 	if r.Aborted != nil {
 		fmt.Fprintf(&b, "  ABORTED: %v\n", r.Aborted)

@@ -10,6 +10,7 @@ go build ./...
 go test ./...
 go test -race ./internal/...
 GOMAXPROCS=2 go test -race ./internal/experiment
+GOMAXPROCS=2 go test -race ./internal/net
 go test -run '^$' -bench . -benchtime=1x ./...
 # Observability smoke: run a short traced scenario and validate that
 # the Chrome trace and the metrics JSON both parse.
@@ -19,3 +20,8 @@ go run ./cmd/idiosim -scenario scenarios/mixed_nfs.json \
     -trace "$obsdir/trace.json" -trace-sample 16 \
     -json "$obsdir/results.json" > /dev/null
 go run ./cmd/obscheck "$obsdir/trace.json" "$obsdir/results.json"
+# Fabric smoke: the end-to-end RPC sweep must run, and its table must
+# be byte-identical between serial and parallel cell execution.
+go run ./cmd/idiosim -exp rpc -quick -j 2 > "$obsdir/rpc.txt"
+go run ./cmd/idiosim -exp rpc -quick -j 1 | cmp - "$obsdir/rpc.txt"
+go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json > /dev/null

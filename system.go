@@ -146,10 +146,19 @@ func NewSystem(cfg Config) *System {
 // returning *ConfigError values (joined) instead of panicking when
 // the configuration is invalid.
 func NewSystemE(cfg Config) (*System, error) {
+	return NewHostE(sim.New(), cfg)
+}
+
+// NewHostE wires a system as one host of a multi-host topology: it
+// shares the caller's simulator instead of creating its own, so a DUT
+// server and the network fabric connecting it to client hosts advance
+// on one event queue (see Cluster). NewSystemE is the single-host
+// special case.
+func NewHostE(sm *sim.Simulator, cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{Cfg: cfg, Sim: sim.New()}
+	s := &System{Cfg: cfg, Sim: sm}
 	s.obs = obs.New(cfg.Obs)
 	if cfg.Watchdog != nil {
 		s.Sim.SetWatchdog(*cfg.Watchdog)
@@ -273,6 +282,8 @@ func (s *System) registerMetrics() {
 		reg.CounterFunc("fault.snoop_thrashes", func() uint64 { return s.Faults.Stats().SnoopThrashes })
 		reg.CounterFunc("fault.dir_evictions", func() uint64 { return s.Faults.Stats().DirEvictions })
 		reg.CounterFunc("fault.core_stalls", func() uint64 { return s.Faults.Stats().CoreStalls })
+		reg.CounterFunc("fault.fabric_flaps", func() uint64 { return s.Faults.Stats().FabricFlaps })
+		reg.CounterFunc("fault.fabric_degrades", func() uint64 { return s.Faults.Stats().FabricDegrades })
 	}
 	// Cores are installed after construction (AddNF), so the per-core
 	// closures tolerate nil slots and report zero until an app exists.
