@@ -97,8 +97,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cl.ServerUp = fnet.NewLink(up, cl.Switch)
 	cl.ServerUp.SetObserver(o)
 	cl.ServerUp.RegisterMetrics(reg, "fabric.srv.up.")
+	// The echo response is drawn from the host pool — usually the very
+	// request packet just released by the slot free in this same event,
+	// so the fabric's steady state recycles one packet per in-flight
+	// request and allocates nothing.
 	dut.NIC.SetWire(func(s *sim.Simulator, p *pkt.Packet) {
-		cl.ServerUp.Receive(s, pkt.EchoResponse(p))
+		// Capture the request's identity before Get: the pool may hand
+		// back p itself (it was released by the slot free moments ago in
+		// this same event), and Get resets the recycled packet's Seq.
+		seq := p.Seq
+		r := dut.PktPool.Get(len(p.Frame))
+		pkt.EchoInto(r, p)
+		r.Seq = seq
+		cl.ServerUp.Receive(s, r)
 	})
 
 	// Client uplinks: slot i → switch. Downlinks are created lazily by
@@ -110,6 +121,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		lc.Name = fmt.Sprintf("c%d.up", i)
 		cl.ClientUp[i] = fnet.NewLink(lc, cl.Switch)
 		cl.ClientUp[i].SetObserver(o)
+		// Clients and generators feeding this uplink draw their request
+		// packets from the host pool (central leak accounting).
+		cl.ClientUp[i].SetPacketPool(dut.PktPool)
 		cl.ClientUp[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.up.", i))
 	}
 	cl.Switch.RegisterMetrics(reg, "fabric.switch.")

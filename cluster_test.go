@@ -33,6 +33,11 @@ func runThreeClientCluster(t *testing.T, pol core.Policy) (Results, []byte) {
 	if err := cl.Err(); err != nil {
 		t.Fatalf("cluster run: %v", err)
 	}
+	// Every request and echoed response draws from the host pool; a
+	// drained topology must have returned them all.
+	if res.PktPool.Outstanding != 0 {
+		t.Fatalf("packet pool leak after drain: %+v", res.PktPool)
+	}
 	var buf bytes.Buffer
 	if err := res.WriteStats(&buf); err != nil {
 		t.Fatalf("WriteStats: %v", err)

@@ -50,10 +50,7 @@ func (L2Fwd) Name() string { return "L2Fwd" }
 // 64 bytes, Sec. V-A) and schedules the TX.
 func (L2Fwd) OnPacket(env *cpu.Env, slot *nic.Slot) (sim.Duration, bool) {
 	lat := env.Read(slot.Buf.Base.Line())
-	payload := slot.PayloadRegion()
-	env.Transmit(slot, payload, func(sim.Time) {
-		env.FreeSlot(slot)
-	})
+	env.TransmitAndFree(slot, slot.PayloadRegion())
 	return lat, true
 }
 
@@ -73,9 +70,7 @@ func (f *L2FwdQueued) Name() string { return "L2FwdQueued" }
 // OnPacket reads the header and pushes the packet through the TX ring.
 func (f *L2FwdQueued) OnPacket(env *cpu.Env, slot *nic.Slot) (sim.Duration, bool) {
 	lat := env.Read(slot.Buf.Base.Line())
-	descLat, ok := env.TransmitQueued(slot, slot.PayloadRegion(), func(sim.Time) {
-		env.FreeSlot(slot)
-	})
+	descLat, ok := env.TransmitQueuedAndFree(slot, slot.PayloadRegion())
 	lat += descLat
 	if !ok {
 		f.TXDrops++

@@ -544,8 +544,14 @@ type Prefetcher struct {
 	target PrefetchTarget
 	load   MLCLoadReader // non-nil only for adaptive prefetchers
 
-	queue []uint64
-	busy  bool
+	// queue is a fixed-capacity ring (head/count) so the per-line
+	// enqueue/dequeue cycle never reallocates; issueFn is the issue
+	// method bound once, so rescheduling it never closes over p again.
+	queue   []uint64
+	head    int
+	count   int
+	busy    bool
+	issueFn sim.Event
 
 	HintsQueued  uint64
 	HintsDropped uint64
@@ -567,7 +573,8 @@ func NewPrefetcher(cfg PrefetcherConfig, coreID int, target PrefetchTarget) *Pre
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 8 * cfg.IssueInterval
 	}
-	p := &Prefetcher{cfg: cfg, coreID: coreID, target: target}
+	p := &Prefetcher{cfg: cfg, coreID: coreID, target: target, queue: make([]uint64, cfg.QueueDepth)}
+	p.issueFn = p.issue
 	if cfg.Adaptive {
 		p.load, _ = target.(MLCLoadReader)
 	}
@@ -575,25 +582,26 @@ func NewPrefetcher(cfg PrefetcherConfig, coreID int, target PrefetchTarget) *Pre
 }
 
 // QueueLen returns the current hint-queue occupancy.
-func (p *Prefetcher) QueueLen() int { return len(p.queue) }
+func (p *Prefetcher) QueueLen() int { return p.count }
 
 // Hint enqueues a prefetch for a cacheline; a full queue drops the
 // hint (prefetching is best-effort).
 func (p *Prefetcher) Hint(s *sim.Simulator, line uint64) {
-	if len(p.queue) >= p.cfg.QueueDepth {
+	if p.count >= p.cfg.QueueDepth {
 		p.HintsDropped++
 		return
 	}
-	p.queue = append(p.queue, line)
+	p.queue[(p.head+p.count)%p.cfg.QueueDepth] = line
+	p.count++
 	p.HintsQueued++
 	if !p.busy {
 		p.busy = true
-		s.After(p.cfg.IssueInterval, p.issue)
+		s.After(p.cfg.IssueInterval, p.issueFn)
 	}
 }
 
 func (p *Prefetcher) issue(s *sim.Simulator) {
-	if len(p.queue) == 0 {
+	if p.count == 0 {
 		p.busy = false
 		return
 	}
@@ -602,15 +610,16 @@ func (p *Prefetcher) issue(s *sim.Simulator) {
 	// self-invalidation) is what drains it.
 	if p.load != nil && p.load.MLCLoadFraction(p.coreID) > p.cfg.HighWater {
 		p.Throttled++
-		s.After(p.cfg.Backoff, p.issue)
+		s.After(p.cfg.Backoff, p.issueFn)
 		return
 	}
-	line := p.queue[0]
-	p.queue = p.queue[1:]
+	line := p.queue[p.head]
+	p.head = (p.head + 1) % p.cfg.QueueDepth
+	p.count--
 	p.target.PrefetchToMLC(s.Now(), p.coreID, line)
 	p.Issued++
-	if len(p.queue) > 0 {
-		s.After(p.cfg.IssueInterval, p.issue)
+	if p.count > 0 {
+		s.After(p.cfg.IssueInterval, p.issueFn)
 	} else {
 		p.busy = false
 	}

@@ -139,6 +139,10 @@ type Env struct {
 	Obs   *obs.Observer
 	cfg   Config
 	clock sim.Clock
+
+	// outstanding is the reusable MSHR completion buffer for
+	// ReadRegion (MSHRs > 1), sized once to the MSHR count.
+	outstanding []sim.Duration
 }
 
 // Transmit forwards a slot's payload back out of the port it arrived
@@ -192,6 +196,54 @@ func (e *Env) TransmitQueued(slot *nic.Slot, payload mem.Region, done func(sim.T
 	return lat, true
 }
 
+// TransmitAndFree is the allocation-free fast path for zero-copy
+// forwarders: Transmit the slot's payload and free the slot when the
+// TX DMA reads complete, equivalent to
+//
+//	e.Transmit(slot, payload, func(sim.Time) { e.FreeSlot(slot) })
+//
+// but with a package-level completion event instead of per-packet
+// closures. As with Transmit, a port wire (network fabric) receives
+// the frame after the free.
+func (e *Env) TransmitAndFree(slot *nic.Slot, payload mem.Region) {
+	slot.NIC().TransmitArg(e.Sim, payload, txFreeEv, sim.Arg{Obj: e, Obj2: slot})
+}
+
+// TransmitQueuedAndFree is TransmitAndFree through the full TX
+// descriptor ring (see TransmitQueued). It reports false when the TX
+// ring is full; the caller should then drop the packet.
+func (e *Env) TransmitQueuedAndFree(slot *nic.Slot, payload mem.Region) (sim.Duration, bool) {
+	port := slot.NIC()
+	tx := port.PrepareTX(e.CoreID)
+	if tx == nil {
+		return 0, false
+	}
+	var lat sim.Duration
+	first := tx.Desc.Base.Line()
+	for i, n := 0, tx.Desc.NumLines(); i < n; i++ {
+		lat += e.Write(first + mem.LineAddr(i))
+	}
+	port.KickTXArg(e.Sim, e.CoreID, tx, payload, txFreeEv, sim.Arg{Obj: e, Obj2: slot})
+	return lat, true
+}
+
+// txFreeEv is the TX completion for TransmitAndFree /
+// TransmitQueuedAndFree: Arg.Obj is the *Env, Obj2 the *nic.Slot.
+// Free first, then hand the frame to the wire — the same order as the
+// closure form (done before WirePacket); the wire hook reads the
+// frame synchronously in this event, before any later event can
+// recycle the packet.
+func txFreeEv(sm *sim.Simulator, a sim.Arg) {
+	e := a.Obj.(*Env)
+	slot := a.Obj2.(*nic.Slot)
+	port := slot.NIC()
+	p := slot.Pkt // capture: FreeSlot clears the slot's packet pointer
+	e.FreeSlot(slot)
+	if port.HasWire() {
+		port.WirePacket(sm, p)
+	}
+}
+
 // Read performs a demand load of one line, returning its latency.
 func (e *Env) Read(line mem.LineAddr) sim.Duration {
 	return e.Hier.CoreRead(e.Sim.Now(), e.CoreID, line)
@@ -208,26 +260,34 @@ func (e *Env) Write(line mem.LineAddr) sim.Duration {
 // result is the critical path of the resulting schedule.
 func (e *Env) ReadRegion(r mem.Region) sim.Duration {
 	mshrs := e.cfg.MSHRs
+	first := r.Base.Line()
+	n := r.NumLines()
 	if mshrs <= 1 {
 		var total sim.Duration
-		r.Lines(func(l mem.LineAddr) { total += e.Read(l) })
+		for i := 0; i < n; i++ {
+			total += e.Read(first + mem.LineAddr(i))
+		}
 		return total
 	}
 	// Mini MSHR schedule: issue in order, each fetch occupies a slot
 	// for its latency; a full MSHR file stalls issue until the oldest
-	// outstanding fetch completes.
+	// outstanding fetch completes. The completion buffer is reused
+	// across calls so the per-packet path allocates nothing.
+	if cap(e.outstanding) < mshrs {
+		e.outstanding = make([]sim.Duration, 0, mshrs)
+	}
 	var (
-		outstanding []sim.Duration // completion times relative to start
-		now         sim.Duration   // issue cursor
+		outstanding = e.outstanding[:0] // completion times relative to start
+		now         sim.Duration        // issue cursor
 		finish      sim.Duration
 	)
-	r.Lines(func(l mem.LineAddr) {
+	for i := 0; i < n; i++ {
 		if len(outstanding) == mshrs {
 			// Pop the earliest completion; issue can't proceed before it.
 			min, idx := outstanding[0], 0
-			for i, c := range outstanding {
+			for j, c := range outstanding {
 				if c < min {
-					min, idx = c, i
+					min, idx = c, j
 				}
 			}
 			outstanding = append(outstanding[:idx], outstanding[idx+1:]...)
@@ -235,19 +295,23 @@ func (e *Env) ReadRegion(r mem.Region) sim.Duration {
 				now = min
 			}
 		}
-		done := now + e.Read(l)
+		done := now + e.Read(first+mem.LineAddr(i))
 		outstanding = append(outstanding, done)
 		if done > finish {
 			finish = done
 		}
-	})
+	}
+	e.outstanding = outstanding[:0]
 	return finish
 }
 
 // WriteRegion stores every line of a region, returning total latency.
 func (e *Env) WriteRegion(r mem.Region) sim.Duration {
 	var total sim.Duration
-	r.Lines(func(l mem.LineAddr) { total += e.Write(l) })
+	first := r.Base.Line()
+	for i, n := 0, r.NumLines(); i < n; i++ {
+		total += e.Write(first + mem.LineAddr(i))
+	}
 	return total
 }
 
@@ -314,6 +378,23 @@ type Core struct {
 	irqArmed   bool
 	rrNext     int      // round-robin port cursor
 	stallUntil sim.Time // injected slow-core stall: no polling before this
+
+	// pollFn is c.poll bound once at Start, so re-poll scheduling does
+	// not allocate a method value per event.
+	pollFn sim.Event
+	// batch and releasable are reused across polls (capacity
+	// BatchSize) so the steady-state driver loop allocates nothing.
+	batch      []*nic.Slot
+	releasable []*nic.Slot
+	// In-flight packet state for the argful pkt-done event. A core
+	// processes strictly one packet at a time (run to completion), so
+	// a single set of fields replaces the per-packet closure captures.
+	curIdx     int
+	curLat     sim.Duration
+	curStart   sim.Time
+	curArrival sim.Time
+	curSeq     uint64
+	curSlot    *nic.Slot
 }
 
 // NewCore builds a core bound to its per-port rings and an app.
@@ -362,6 +443,12 @@ func (c *Core) Start(s *sim.Simulator) {
 	if len(c.env.Rings) == 0 {
 		panic("cpu: core has no RX rings")
 	}
+	c.pollFn = c.poll
+	c.batch = make([]*nic.Slot, 0, c.cfg.BatchSize)
+	c.releasable = make([]*nic.Slot, 0, c.cfg.BatchSize)
+	if c.cfg.TraceCapacity > 0 {
+		c.Trace = make([]TraceRecord, 0, c.cfg.TraceCapacity)
+	}
 	switch c.cfg.Driver {
 	case DriverInterrupt:
 		for _, p := range c.env.Ports {
@@ -369,7 +456,7 @@ func (c *Core) Start(s *sim.Simulator) {
 		}
 		c.irqArmed = true
 	default:
-		s.At(s.Now(), c.poll)
+		s.At(s.Now(), c.pollFn)
 	}
 }
 
@@ -382,7 +469,7 @@ func (c *Core) interrupt(s *sim.Simulator) {
 	}
 	c.irqArmed = false
 	c.Interrupts++
-	s.After(c.cfg.IRQLatency, c.poll)
+	s.After(c.cfg.IRQLatency, c.pollFn)
 }
 
 // InjectStall freezes the core's driver loop until now+d — the fault
@@ -408,17 +495,17 @@ func (c *Core) poll(s *sim.Simulator) {
 		// interrupt-mode wakeups) until the stall expires.
 		c.StallsTaken++
 		c.StallTime += c.stallUntil.Sub(s.Now())
-		s.At(c.stallUntil, c.poll)
+		s.At(c.stallUntil, c.pollFn)
 		return
 	}
-	var batch []*nic.Slot
+	c.batch = c.batch[:0]
 	// Service the ports round-robin, rotating the starting port each
 	// poll so no port starves another.
 	nRings := len(c.env.Rings)
 	start := c.rrNext
 	c.rrNext = (c.rrNext + 1) % nRings
 	empty := 0
-	for len(batch) < c.cfg.BatchSize && empty < nRings {
+	for len(c.batch) < c.cfg.BatchSize && empty < nRings {
 		ring := c.env.Rings[start]
 		start = (start + 1) % nRings
 		slot := ring.Poll(s.Now())
@@ -428,27 +515,30 @@ func (c *Core) poll(s *sim.Simulator) {
 		}
 		empty = 0
 		ring.Consume()
-		batch = append(batch, slot)
+		c.batch = append(c.batch, slot)
 	}
-	if len(batch) == 0 {
+	if len(c.batch) == 0 {
 		if c.cfg.Driver == DriverInterrupt {
 			c.irqArmed = true
 			return
 		}
-		s.After(c.cfg.PollInterval, c.poll)
+		s.After(c.cfg.PollInterval, c.pollFn)
 		return
 	}
 	if c.FirstPacketAt == 0 && c.Processed == 0 {
 		c.FirstPacketAt = s.Now()
 	}
-	c.processNext(s, batch, 0, nil)
+	c.releasable = c.releasable[:0]
+	c.processNext(s, 0)
 }
 
-// processNext handles batch[i] in its own event, then chains to the
+// processNext handles c.batch[i] in its own event, then chains to the
 // next packet; after the last packet, non-deferred slots are freed in
 // ring order and the loop re-polls immediately (run to completion).
-func (c *Core) processNext(s *sim.Simulator, batch []*nic.Slot, i int, releasable []*nic.Slot) {
-	slot := batch[i]
+// Per-packet state lives on the Core — a core runs exactly one packet
+// at a time, so the fields replace what used to be closure captures.
+func (c *Core) processNext(s *sim.Simulator, i int) {
+	slot := c.batch[i]
 	start := s.Now()
 	extra, deferred := c.app.OnPacket(&c.env, slot)
 	// Memory latency accrued by OnPacket is measured by how much the
@@ -457,48 +547,59 @@ func (c *Core) processNext(s *sim.Simulator, batch []*nic.Slot, i int, releasabl
 	done := start.Add(lat)
 	// Capture packet identity now: a fast TX completion can recycle
 	// the slot (clearing Pkt) before the pkt-done event fires.
-	arrival := sim.Time(slot.Pkt.ArrivalTimePS)
-	seq := slot.Pkt.Seq
+	c.curIdx = i
+	c.curLat = lat
+	c.curStart = start
+	c.curArrival = sim.Time(slot.Pkt.ArrivalTimePS)
+	c.curSeq = slot.Pkt.Seq
+	c.curSlot = slot
 	if !deferred {
-		releasable = append(releasable, slot)
+		c.releasable = append(c.releasable, slot)
 	}
-	s.AtNamed(done, "pkt-done", func(sm *sim.Simulator) {
-		c.Processed++
-		c.BusyTime += lat
-		c.LastDoneAt = sm.Now()
-		c.Latencies.Record(sm.Now().Sub(arrival))
-		if c.cfg.TraceCapacity > 0 && len(c.Trace) < c.cfg.TraceCapacity {
-			c.Trace = append(c.Trace, TraceRecord{
-				Seq:     seq,
-				Arrival: arrival,
-				Ready:   slot.ReadyAt,
-				Start:   start,
-				Done:    sm.Now(),
-			})
-		}
-		if c.env.Obs.TracingPacket(seq) {
-			c.env.Obs.Emit(obs.Event{
-				Kind: obs.EvDone, Seq: seq, Core: c.id, At: sm.Now(),
-				Arrival: arrival, Ready: slot.ReadyAt, Start: start,
-			})
-		}
-		if i+1 < len(batch) {
-			c.processNext(sm, batch, i+1, releasable)
-			return
-		}
-		// End of batch: release buffers in ring order (charging the
-		// invalidate-instruction cost), then re-poll.
-		var freeCost sim.Duration
-		for _, sl := range releasable {
-			freeCost += c.env.FreeSlot(sl)
-		}
-		c.BusyTime += freeCost
-		if freeCost > 0 {
-			sm.After(freeCost, c.poll)
-			return
-		}
-		c.poll(sm)
-	})
+	s.AtArgNamed(done, "pkt-done", pktDoneEv, sim.Arg{Obj: c})
+}
+
+// pktDoneEv retires the in-flight packet (Arg.Obj is the *Core) and
+// either chains to the next batch entry or frees the batch and
+// re-polls.
+func pktDoneEv(sm *sim.Simulator, a sim.Arg) {
+	c := a.Obj.(*Core)
+	c.Processed++
+	c.BusyTime += c.curLat
+	c.LastDoneAt = sm.Now()
+	c.Latencies.Record(sm.Now().Sub(c.curArrival))
+	if c.cfg.TraceCapacity > 0 && len(c.Trace) < c.cfg.TraceCapacity {
+		c.Trace = append(c.Trace, TraceRecord{
+			Seq:     c.curSeq,
+			Arrival: c.curArrival,
+			Ready:   c.curSlot.ReadyAt,
+			Start:   c.curStart,
+			Done:    sm.Now(),
+		})
+	}
+	if c.env.Obs.TracingPacket(c.curSeq) {
+		c.env.Obs.Emit(obs.Event{
+			Kind: obs.EvDone, Seq: c.curSeq, Core: c.id, At: sm.Now(),
+			Arrival: c.curArrival, Ready: c.curSlot.ReadyAt, Start: c.curStart,
+		})
+	}
+	if c.curIdx+1 < len(c.batch) {
+		c.processNext(sm, c.curIdx+1)
+		return
+	}
+	c.curSlot = nil
+	// End of batch: release buffers in ring order (charging the
+	// invalidate-instruction cost), then re-poll.
+	var freeCost sim.Duration
+	for _, sl := range c.releasable {
+		freeCost += c.env.FreeSlot(sl)
+	}
+	c.BusyTime += freeCost
+	if freeCost > 0 {
+		sm.After(freeCost, c.pollFn)
+		return
+	}
+	c.poll(sm)
 }
 
 // memLatencyOf combines app-reported latency with the per-packet

@@ -94,6 +94,14 @@ type Client struct {
 	up   *Link
 	hist *stats.Histogram
 
+	// tmpl is the request flow's prebuilt frame; pool recycles request
+	// packets (the uplink's pool when one is installed, else private).
+	tmpl *pkt.Template
+	pool *pkt.Pool
+	// sendPacedFn is the open/ramp pacing event, bound once so
+	// rescheduling allocates nothing.
+	sendPacedFn sim.Event
+
 	inflight map[uint64]sim.Time // seq → send time
 	issued   uint64
 	resp     uint64
@@ -120,7 +128,8 @@ func NewClient(cfg ClientConfig, up *Link) *Client {
 	if cfg.Flow.FrameLen == 0 {
 		cfg.Flow.FrameLen = pkt.MTUFrameLen
 	}
-	if _, err := cfg.Flow.Packet(0); err != nil {
+	tmpl, err := cfg.Flow.Template()
+	if err != nil {
 		panic(fmt.Sprintf("net: client flow: %v", err))
 	}
 	switch cfg.Mode {
@@ -145,6 +154,7 @@ func NewClient(cfg ClientConfig, up *Link) *Client {
 	return &Client{
 		cfg:      cfg,
 		up:       up,
+		tmpl:     tmpl,
 		hist:     stats.NewHistogram(5),
 		inflight: make(map[uint64]sim.Time),
 	}
@@ -159,6 +169,12 @@ func (c *Client) Start(s *sim.Simulator) {
 		panic("net: client already started")
 	}
 	c.started = true
+	c.sendPacedFn = c.sendPaced
+	// Draw request packets from the uplink's pool when the fabric
+	// installed one (central recycling/accounting), else a private one.
+	if c.pool = c.up.PacketPool(); c.pool == nil {
+		c.pool = pkt.NewPool(c.tmpl.FrameLen())
+	}
 	s.AtNamed(c.cfg.Start, "client-start", func(sm *sim.Simulator) {
 		switch c.cfg.Mode {
 		case ModeClosed:
@@ -195,39 +211,42 @@ func (c *Client) gap() sim.Duration {
 func (c *Client) sendPaced(s *sim.Simulator) {
 	c.send(s)
 	if c.issued < c.cfg.Requests {
-		s.After(c.gap(), c.sendPaced)
+		s.After(c.gap(), c.sendPacedFn)
 	}
 }
 
 // send issues one request at the current time and arms its timeout.
+// The request frame is a recycled pool packet stamped from the flow
+// template, so steady-state issue allocates nothing.
 func (c *Client) send(s *sim.Simulator) {
 	seq := c.issued
 	c.issued++
-	p, err := c.cfg.Flow.Packet(seq)
-	if err != nil {
-		panic(fmt.Sprintf("net: client: %v", err))
-	}
+	p := c.pool.Get(c.tmpl.FrameLen())
+	c.tmpl.Stamp(p, seq)
 	now := s.Now()
 	if !c.sentAny {
 		c.sentAny = true
 		c.firstSend = now
 	}
 	c.inflight[seq] = now
-	s.After(c.cfg.Timeout, func(sm *sim.Simulator) { c.timeout(sm, seq) })
+	s.AfterArg(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: seq})
 	c.up.Receive(s, p)
 }
 
-// timeout fires at a request's response deadline: if the response is
-// still missing, the window slot is released (and, in closed mode,
-// reissued) so fabric losses cannot stall the loop.
-func (c *Client) timeout(s *sim.Simulator, seq uint64) {
+// clientTimeoutEv fires at a request's response deadline: if the
+// response is still missing, the window slot is released (and, in
+// closed mode, reissued) so fabric losses cannot stall the loop.
+// Arg.Obj is the *Client, U0 the request sequence number.
+func clientTimeoutEv(sm *sim.Simulator, a sim.Arg) {
+	c := a.Obj.(*Client)
+	seq := a.U0
 	if _, ok := c.inflight[seq]; !ok {
 		return // answered in time
 	}
 	delete(c.inflight, seq)
 	c.timeouts++
 	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
-		c.send(s)
+		c.send(sm)
 	}
 }
 
@@ -237,6 +256,7 @@ func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
 	sent, ok := c.inflight[p.Seq]
 	if !ok {
 		c.late++ // timed out (or duplicate): not counted as goodput
+		p.Release()
 		return
 	}
 	delete(c.inflight, p.Seq)
@@ -249,6 +269,7 @@ func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
 	c.resp++
 	c.rxBytes += uint64(p.Len())
 	c.lastResp = now
+	p.Release() // the response dies here; recycle it
 	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
 		c.send(s)
 	}

@@ -93,7 +93,20 @@ type Link struct {
 
 	stats LinkStats
 	obs   *obs.Observer
+
+	// pktPool, when set, is the packet pool generators and clients
+	// feeding this link draw from (recycling through the fabric).
+	pktPool *pkt.Pool
 }
+
+// SetPacketPool installs the packet pool that traffic sources feeding
+// this link should draw from (traffic.PacketPooler).
+func (l *Link) SetPacketPool(p *pkt.Pool) { l.pktPool = p }
+
+// PacketPool returns the link's packet pool (nil when unset). It
+// implements traffic.PacketPooler so generators targeting the link
+// discover the pool automatically.
+func (l *Link) PacketPool() *pkt.Pool { return l.pktPool }
 
 // NewLink builds a link feeding dst. The destination may be any
 // Endpoint: a switch, a NIC, a client, or another link.
@@ -166,11 +179,13 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 	if l.down {
 		l.stats.DownDrops++
 		l.traceDrop(s, p, "link-down")
+		p.Release()
 		return
 	}
 	if l.qlen >= l.cfg.QueueDepth {
 		l.stats.TailDrops++
 		l.traceDrop(s, p, "tail-drop")
+		p.Release()
 		return
 	}
 	l.qlen++
@@ -191,19 +206,31 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 	l.stats.BusyTime += tx
 
 	deliverAt := end.Add(l.cfg.Delay)
-	s.AtNamed(end, "link-tx", func(*sim.Simulator) { l.qlen-- })
-	s.AtNamed(deliverAt, "link-deliver", func(sm *sim.Simulator) {
-		l.stats.Delivered++
-		l.stats.DeliveredBytes += uint64(p.Len())
-		l.inflight--
-		if l.obs.TracingPacket(p.Seq) {
-			l.obs.Emit(obs.Event{
-				Kind: obs.EvLink, Seq: p.Seq, Core: -1, At: sm.Now(),
-				Dur: sm.Now().Sub(now), Bytes: p.Len(), Arg: l.cfg.Name,
-			})
-		}
-		l.dst.Receive(sm, p)
-	})
+	s.AtArgNamed(end, "link-tx", linkTxEv, sim.Arg{Obj: l})
+	s.AtArgNamed(deliverAt, "link-deliver", linkDeliverEv,
+		sim.Arg{Obj: l, Obj2: p, U0: uint64(now)})
+}
+
+// linkTxEv finishes one packet's serialization: Arg.Obj is the *Link.
+func linkTxEv(_ *sim.Simulator, a sim.Arg) {
+	a.Obj.(*Link).qlen--
+}
+
+// linkDeliverEv hands a propagated packet to the far end: Arg.Obj is
+// the *Link, Obj2 the *pkt.Packet, U0 the link-arrival time.
+func linkDeliverEv(sm *sim.Simulator, a sim.Arg) {
+	l := a.Obj.(*Link)
+	p := a.Obj2.(*pkt.Packet)
+	l.stats.Delivered++
+	l.stats.DeliveredBytes += uint64(p.Len())
+	l.inflight--
+	if l.obs.TracingPacket(p.Seq) {
+		l.obs.Emit(obs.Event{
+			Kind: obs.EvLink, Seq: p.Seq, Core: -1, At: sm.Now(),
+			Dur: sm.Now().Sub(sim.Time(a.U0)), Bytes: p.Len(), Arg: l.cfg.Name,
+		})
+	}
+	l.dst.Receive(sm, p)
 }
 
 // traceDrop emits a drop event for a sampled packet.

@@ -77,6 +77,7 @@ func (sw *Switch) Receive(s *sim.Simulator, p *pkt.Packet) {
 	if len(p.Frame) < dstIPOff+4 {
 		sw.stats.ParseDrops++
 		sw.traceDrop(s, p, "switch-parse")
+		p.Release()
 		return
 	}
 	var dst pkt.IPv4
@@ -85,6 +86,7 @@ func (sw *Switch) Receive(s *sim.Simulator, p *pkt.Packet) {
 	if !ok {
 		sw.stats.NoRoute++
 		sw.traceDrop(s, p, "no-route")
+		p.Release()
 		return
 	}
 	sw.stats.Forwarded++

@@ -14,10 +14,15 @@ import (
 
 // MbufPool hands out fixed-size 2 KB buffers from a preallocated
 // region, LIFO (hot buffers are reused first, as DPDK mempools with
-// per-core caches behave).
+// per-core caches behave). The free list holds buffer indices and an
+// occupancy bit per buffer tracks residency, so Alloc and Free — both
+// on the per-packet path in re-allocate mode — are O(1); Free's
+// double-free and foreign-buffer checks are index lookups, not scans.
 type MbufPool struct {
-	free []mem.Region
-	all  []mem.Region // every buffer, for DMA mapping/registration
+	free   []int32          // indices into all, LIFO
+	all    []mem.Region     // every buffer, for DMA mapping/registration
+	byBase map[uint64]int32 // buffer base address → index
+	inPool []bool           // occupancy: true when the buffer sits in free
 
 	// AllocFailures counts allocation attempts on an empty pool.
 	AllocFailures uint64
@@ -29,11 +34,17 @@ func NewMbufPool(n int, ly *mem.Layout) *MbufPool {
 	if n <= 0 {
 		panic(fmt.Sprintf("nic: mbuf pool size %d", n))
 	}
-	p := &MbufPool{capacity: n}
+	p := &MbufPool{
+		capacity: n,
+		byBase:   make(map[uint64]int32, n),
+		inPool:   make([]bool, n),
+	}
 	for i := 0; i < n; i++ {
 		b := ly.Alloc(mem.MbufBytes, mem.MbufBytes)
-		p.free = append(p.free, b)
+		p.free = append(p.free, int32(i))
 		p.all = append(p.all, b)
+		p.byBase[uint64(b.Base)] = int32(i)
+		p.inPool[i] = true
 	}
 	return p
 }
@@ -54,21 +65,27 @@ func (p *MbufPool) Alloc() (mem.Region, bool) {
 		p.AllocFailures++
 		return mem.Region{}, false
 	}
-	b := p.free[len(p.free)-1]
+	i := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
-	return b, true
+	p.inPool[i] = false
+	return p.all[i], true
 }
 
 // Free returns a buffer to the pool. Double frees are a programming
-// error and panic (they would alias two packets onto one buffer).
+// error and panic (they would alias two packets onto one buffer), as
+// is returning a buffer the pool never owned. Both checks are O(1):
+// the buffer's base address indexes its occupancy bit.
 func (p *MbufPool) Free(b mem.Region) {
 	if len(p.free) == p.capacity {
 		panic("nic: mbuf pool overflow (double free?)")
 	}
-	for _, f := range p.free {
-		if f.Base == b.Base {
-			panic(fmt.Sprintf("nic: double free of mbuf %v", b.Base))
-		}
+	i, ok := p.byBase[uint64(b.Base)]
+	if !ok {
+		panic(fmt.Sprintf("nic: free of foreign mbuf %v", b.Base))
 	}
-	p.free = append(p.free, b)
+	if p.inPool[i] {
+		panic(fmt.Sprintf("nic: double free of mbuf %v", b.Base))
+	}
+	p.inPool[i] = true
+	p.free = append(p.free, i)
 }

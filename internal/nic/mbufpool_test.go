@@ -1,0 +1,93 @@
+package nic
+
+import (
+	"testing"
+
+	"idio/internal/mem"
+)
+
+func TestMbufPoolAllocFreeCycle(t *testing.T) {
+	p := NewMbufPool(4, mem.NewLayout(0x10000))
+	if p.Capacity() != 4 || p.Available() != 4 {
+		t.Fatalf("capacity=%d available=%d", p.Capacity(), p.Available())
+	}
+	a, ok := p.Alloc()
+	if !ok {
+		t.Fatal("alloc from full pool failed")
+	}
+	b, _ := p.Alloc()
+	if a.Base == b.Base {
+		t.Fatal("two live mbufs share a base address")
+	}
+	if p.Available() != 2 {
+		t.Fatalf("available %d, want 2", p.Available())
+	}
+	p.Free(b)
+	// LIFO: the hot buffer comes back first.
+	c, _ := p.Alloc()
+	if c.Base != b.Base {
+		t.Fatal("alloc after free did not return the hot buffer")
+	}
+	p.Free(c)
+	p.Free(a)
+	if p.Available() != 4 {
+		t.Fatalf("available %d after draining, want 4", p.Available())
+	}
+}
+
+func TestMbufPoolExhaustionCounts(t *testing.T) {
+	p := NewMbufPool(1, mem.NewLayout(0x10000))
+	if _, ok := p.Alloc(); !ok {
+		t.Fatal("first alloc failed")
+	}
+	if _, ok := p.Alloc(); ok {
+		t.Fatal("alloc on empty pool succeeded")
+	}
+	if p.AllocFailures != 1 {
+		t.Fatalf("AllocFailures %d, want 1", p.AllocFailures)
+	}
+}
+
+// Double frees would alias two packets onto one buffer; the O(1)
+// occupancy check must still catch them, with another buffer in
+// between so the failure is not just the full-pool overflow check.
+func TestMbufPoolDoubleFreePanics(t *testing.T) {
+	p := NewMbufPool(2, mem.NewLayout(0x10000))
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	p.Free(a)
+	_ = b // still outstanding: pool is not full when a is freed again
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	p.Free(a)
+}
+
+// Freeing more buffers than the pool owns trips the overflow check.
+func TestMbufPoolOverflowPanics(t *testing.T) {
+	p := NewMbufPool(1, mem.NewLayout(0x10000))
+	a, _ := p.Alloc()
+	p.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free into a full pool must panic")
+		}
+	}()
+	p.Free(a)
+}
+
+// A region the pool never handed out must be rejected, not silently
+// enqueued as if it were pool-owned.
+func TestMbufPoolForeignFreePanics(t *testing.T) {
+	p := NewMbufPool(2, mem.NewLayout(0x10000))
+	p.Alloc() // keep the pool non-full so the overflow check can't mask this
+	foreign := mem.NewLayout(0x200000).Alloc(mem.MbufBytes, mem.MbufBytes)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign free must panic")
+		}
+	}()
+	p.Free(foreign)
+}

@@ -117,6 +117,12 @@ type NIC struct {
 	// transmit-and-forget behaviour.
 	wire func(s *sim.Simulator, p *pkt.Packet)
 
+	// pktPool, when set, is the packet pool generators feeding this
+	// port draw from (see traffic.PacketPooler): packets recycle
+	// generator → ring → service → Ring.Free → pool without touching
+	// the heap. The System installs its per-host pool here.
+	pktPool *pkt.Pool
+
 	stats Stats
 }
 
@@ -188,6 +194,14 @@ func (n *NIC) WirePacket(s *sim.Simulator, p *pkt.Packet) {
 		n.wire(s, p)
 	}
 }
+
+// SetPacketPool installs the pool handed to generators that feed this
+// port (nil disables discovery; generators fall back to private pools).
+func (n *NIC) SetPacketPool(p *pkt.Pool) { n.pktPool = p }
+
+// PacketPool exposes the port's packet pool to traffic generators
+// (implements traffic.PacketPooler).
+func (n *NIC) PacketPool() *pkt.Pool { return n.pktPool }
 
 // Ring returns queue q's descriptor ring.
 func (n *NIC) Ring(q int) *Ring { return n.rings[q] }
@@ -279,6 +293,7 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	if n.linkDown {
 		n.stats.LinkDownDrops++
 		n.traceDrop(s, p, -1, "link-down")
+		p.Release()
 		return
 	}
 	fields, err := pkt.Parse(p.Frame)
@@ -286,6 +301,7 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		// Undecodable frames are dropped by the parser stage.
 		n.stats.RxDrops++
 		n.traceDrop(s, p, -1, "parse")
+		p.Release()
 		return
 	}
 	coreID := n.flowdir.Steer(fields.Tuple())
@@ -295,12 +311,14 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		n.stats.MisSteers++
 		n.invariant("rx-steer", fmt.Errorf("flow director steered to core %d with %d queues", coreID, n.cfg.NumQueues))
 		n.traceDrop(s, p, -1, "missteer")
+		p.Release()
 		return
 	}
 	ring := n.rings[coreID]
 	slot := ring.Produce(p)
 	if slot == nil {
 		n.traceDrop(s, p, coreID, "ring-full")
+		p.Release()
 		return // ring full: counted by the ring
 	}
 	slot.owner = n
@@ -329,55 +347,64 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		n.obs.Emit(obs.Event{Kind: obs.EvDMA, Seq: p.Seq, Core: coreID, At: start, Dur: end.Sub(start), Bytes: p.Len()})
 	}
 
-	// Schedule each payload line write at its paced instant.
+	// Schedule each payload line write at its paced instant. The lines
+	// of a region are consecutive, so an index loop with a package-level
+	// argful handler replaces the per-line capturing closures — the
+	// per-packet DMA schedule allocates nothing.
 	lt := n.lineTime()
-	i := 0
-	payload.Lines(func(line mem.LineAddr) {
-		idx := i
-		i++
+	firstLine := payload.Base.Line()
+	for idx := 0; idx < nLines; idx++ {
 		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
 		meta := n.classifier.Tag(appClass, coreID, idx == 0, inBurst)
-		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
+		tlp, err := pcie.NewWriteTLP(uint64(firstLine)+uint64(idx), meta)
 		if err != nil {
 			// The line's DMA is skipped; the packet degrades rather
 			// than the process dying mid-run.
 			n.invariant("dma-write", err)
-			return
+			continue
 		}
-		s.AtNamed(at, "dma-write", func(sm *sim.Simulator) {
-			n.stats.DMAWrites++
-			n.sink.DMAWrite(sm.Now(), tlp)
-		})
-	})
+		s.AtArgNamed(at, "dma-write", dmaWriteEv, sim.Arg{Obj: n, U0: tlp.LineAddr, U1: uint64(tlp.DW0)})
+	}
 	// Descriptor lines follow the payload on the wire; visibility to
 	// the driver is additionally delayed by the coalescing window.
 	descStart := start.Add(sim.Duration(int64(lt) * int64(nLines)))
-	j := 0
-	slot.Desc.Lines(func(line mem.LineAddr) {
-		idx := j
-		j++
+	firstDescLine := slot.Desc.Base.Line()
+	for idx := 0; idx < descLines; idx++ {
 		at := descStart.Add(sim.Duration(int64(lt) * int64(idx)))
 		meta := n.classifier.Tag(appClass, coreID, false, inBurst)
-		tlp, err := pcie.NewWriteTLP(uint64(line), meta)
+		tlp, err := pcie.NewWriteTLP(uint64(firstDescLine)+uint64(idx), meta)
 		if err != nil {
 			n.invariant("desc-write", err)
-			return
+			continue
 		}
-		s.AtNamed(at, "desc-write", func(sm *sim.Simulator) {
-			n.stats.DMAWrites++
-			n.sink.DMAWrite(sm.Now(), tlp)
-		})
-	})
+		s.AtArgNamed(at, "desc-write", dmaWriteEv, sim.Arg{Obj: n, U0: tlp.LineAddr, U1: uint64(tlp.DW0)})
+	}
 	readyAt := descStart.Add(sim.Duration(int64(lt)*int64(descLines)) + n.cfg.DescWBDelay)
-	s.AtNamed(readyAt, "desc-visible", func(sm *sim.Simulator) {
-		ring.Complete(slot, sm.Now())
-		if hook := n.driverHooks[coreID]; hook != nil {
-			hook(sm)
-		}
-		for _, hook := range n.completionHooks[coreID] {
-			hook(sm)
-		}
-	})
+	s.AtArgNamed(readyAt, "desc-visible", descVisibleEv, sim.Arg{Obj: slot, I0: coreID})
+}
+
+// dmaWriteEv fires one paced RX DMA line write: Arg.Obj is the *NIC,
+// U0 the line address, U1 the TLP's DW0 metadata word.
+func dmaWriteEv(sm *sim.Simulator, a sim.Arg) {
+	n := a.Obj.(*NIC)
+	n.stats.DMAWrites++
+	n.sink.DMAWrite(sm.Now(), pcie.WriteTLP{LineAddr: a.U0, DW0: uint32(a.U1)})
+}
+
+// descVisibleEv fires a descriptor write-back becoming visible to the
+// driver: Arg.Obj is the *Slot (which knows its ring and port), I0 the
+// queue. It completes the slot and runs the driver/completion hooks.
+func descVisibleEv(sm *sim.Simulator, a sim.Arg) {
+	slot := a.Obj.(*Slot)
+	n := slot.owner
+	coreID := a.I0
+	slot.ring.Complete(slot, sm.Now())
+	if hook := n.driverHooks[coreID]; hook != nil {
+		hook(sm)
+	}
+	for _, hook := range n.completionHooks[coreID] {
+		hook(sm)
+	}
 }
 
 // traceDrop emits a drop event for a sampled packet.
@@ -392,24 +419,53 @@ func (n *NIC) traceDrop(s *sim.Simulator, p *pkt.Packet, coreID int, reason stri
 // the software stack to recycle the buffer). Descriptor bookkeeping on
 // TX is folded into the per-line reads.
 func (n *NIC) Transmit(s *sim.Simulator, payload mem.Region, done func(sim.Time)) {
+	end := n.transmitLines(s, payload)
+	n.stats.TxPackets++
+	if done != nil {
+		s.AtArgNamed(end, "tx-done", txDoneEv, sim.Arg{Obj: done})
+	}
+}
+
+// TransmitArg is Transmit with an argful completion event instead of a
+// callback: fn fires at TX-DMA completion with arg. With a
+// package-level fn this makes the whole egress schedule
+// allocation-free (see cpu.Env.TransmitAndFree).
+func (n *NIC) TransmitArg(s *sim.Simulator, payload mem.Region, fn sim.ArgEvent, arg sim.Arg) {
+	end := n.transmitLines(s, payload)
+	n.stats.TxPackets++
+	if fn != nil {
+		s.AtArgNamed(end, "tx-done", fn, arg)
+	}
+}
+
+// transmitLines schedules the paced PCIe reads of the payload's lines
+// and returns the engine completion time.
+func (n *NIC) transmitLines(s *sim.Simulator, payload mem.Region) sim.Time {
 	nLines := payload.NumLines()
 	start, end := n.reserveEngine(s.Now(), nLines)
 	lt := n.lineTime()
-	i := 0
-	payload.Lines(func(line mem.LineAddr) {
-		idx := i
-		i++
+	firstLine := payload.Base.Line()
+	for idx := 0; idx < nLines; idx++ {
 		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
-		la := uint64(line)
-		s.AtNamed(at, "dma-read", func(sm *sim.Simulator) {
-			n.stats.DMAReads++
-			n.sink.DMARead(sm.Now(), la)
-		})
-	})
-	n.stats.TxPackets++
-	if done != nil {
-		s.AtNamed(end, "tx-done", func(sm *sim.Simulator) { done(sm.Now()) })
+		s.AtArgNamed(at, "dma-read", dmaReadEv, sim.Arg{Obj: n, U0: uint64(firstLine) + uint64(idx)})
 	}
+	return end
+}
+
+// dmaReadEv fires one paced TX DMA line read: Arg.Obj is the *NIC, U0
+// the line address.
+func dmaReadEv(sm *sim.Simulator, a sim.Arg) {
+	n := a.Obj.(*NIC)
+	n.stats.DMAReads++
+	n.sink.DMARead(sm.Now(), a.U0)
+}
+
+// txDoneEv invokes a caller-supplied TX completion callback stored in
+// Arg.Obj. (The callback itself is the caller's allocation; the
+// zero-allocation forwarding path uses cpu.Env.TransmitAndFree, which
+// needs no callback at all.)
+func txDoneEv(sm *sim.Simulator, a sim.Arg) {
+	a.Obj.(func(sim.Time))(sm.Now())
 }
 
 // RegisterMetrics registers the NIC counter set under prefix (e.g.

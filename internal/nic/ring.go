@@ -181,13 +181,20 @@ func (r *Ring) Consume() {
 }
 
 // Free returns the oldest consumed slot to the NIC (advances the
-// tail). Slots must be freed in order, as DPDK rings do.
+// tail). Slots must be freed in order, as DPDK rings do. Freeing the
+// slot is the end of the packet's life: a pooled packet goes back to
+// its generator's pool here. (The zero-copy TX path reads the frame
+// synchronously in the same event that frees the slot, before any
+// later event can recycle the buffer.)
 func (r *Ring) Free() {
 	if r.tail == r.cpu {
 		panic("nic: free past CPU pointer")
 	}
 	s := &r.slots[r.tail%uint64(r.size)]
-	s.Pkt = nil
+	if s.Pkt != nil {
+		s.Pkt.Release()
+		s.Pkt = nil
+	}
 	s.ready = false
 	r.tail++
 }

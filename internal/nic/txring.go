@@ -91,6 +91,24 @@ func (n *NIC) PrepareTX(q int) *TXSlot {
 // a completion back into the descriptor (a DDIO write). done fires
 // once the completion lands.
 func (n *NIC) KickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region, done func(sim.Time)) {
+	end := n.kickTX(s, q, slot, payload)
+	if done != nil {
+		s.AtArgNamed(end, "tx-done", txDoneEv, sim.Arg{Obj: done})
+	}
+}
+
+// KickTXArg is KickTX with an argful completion event instead of a
+// callback (the allocation-free form; see NIC.TransmitArg).
+func (n *NIC) KickTXArg(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region, fn sim.ArgEvent, arg sim.Arg) {
+	end := n.kickTX(s, q, slot, payload)
+	if fn != nil {
+		s.AtArgNamed(end, "tx-done", fn, arg)
+	}
+}
+
+// kickTX schedules the descriptor/payload fetches and the completion
+// write-back, returning the engine completion time.
+func (n *NIC) kickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region) sim.Time {
 	ring := n.TXRing(q)
 	descLines := slot.Desc.NumLines()
 	payloadLines := payload.NumLines()
@@ -98,19 +116,22 @@ func (n *NIC) KickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region, 
 	// completion write.
 	start, end := n.reserveEngine(s.Now(), descLines+payloadLines+1)
 	lt := n.lineTime()
-	i := 0
-	readLine := func(line mem.LineAddr) {
-		idx := i
-		i++
+	// Descriptor fetch then payload fetch, one paced line read each —
+	// index loops over consecutive lines with argful events, so the
+	// per-packet TX schedule allocates nothing.
+	idx := 0
+	firstDesc := slot.Desc.Base.Line()
+	for i := 0; i < descLines; i++ {
 		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
-		la := uint64(line)
-		s.AtNamed(at, "tx-read", func(sm *sim.Simulator) {
-			n.stats.DMAReads++
-			n.sink.DMARead(sm.Now(), la)
-		})
+		idx++
+		s.AtArgNamed(at, "tx-read", dmaReadEv, sim.Arg{Obj: n, U0: uint64(firstDesc) + uint64(i)})
 	}
-	slot.Desc.Lines(readLine)
-	payload.Lines(readLine)
+	firstPayload := payload.Base.Line()
+	for i := 0; i < payloadLines; i++ {
+		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
+		idx++
+		s.AtArgNamed(at, "tx-read", dmaReadEv, sim.Arg{Obj: n, U0: uint64(firstPayload) + uint64(i)})
+	}
 	// Completion write-back: one cacheline PCIe write into the
 	// descriptor, tagged for the owning core (class 0, not a header).
 	complAt := end.Add(-sim.Duration(int64(lt)))
@@ -121,16 +142,27 @@ func (n *NIC) KickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region, 
 		// The completion write is skipped but the ring still retires
 		// the slot so a faulted DMA cannot wedge the TX path.
 		n.invariant("tx-completion", err)
-		s.AtNamed(complAt, "tx-completion", func(sm *sim.Simulator) { ring.Complete() })
+		s.AtArgNamed(complAt, "tx-completion", txCompleteFaultedEv, sim.Arg{Obj: ring})
 	} else {
-		s.AtNamed(complAt, "tx-completion", func(sm *sim.Simulator) {
-			n.stats.DMAWrites++
-			n.sink.DMAWrite(sm.Now(), tlp)
-			ring.Complete()
-		})
+		s.AtArgNamed(complAt, "tx-completion", txCompleteEv,
+			sim.Arg{Obj: n, Obj2: ring, U0: tlp.LineAddr, U1: uint64(tlp.DW0)})
 	}
 	n.stats.TxPackets++
-	if done != nil {
-		s.AtNamed(end, "tx-done", func(sm *sim.Simulator) { done(sm.Now()) })
-	}
+	return end
+}
+
+// txCompleteEv writes the TX completion line and retires the oldest
+// in-flight TX slot: Arg.Obj is the *NIC, Obj2 the *TXRing, U0/U1 the
+// completion TLP.
+func txCompleteEv(sm *sim.Simulator, a sim.Arg) {
+	n := a.Obj.(*NIC)
+	n.stats.DMAWrites++
+	n.sink.DMAWrite(sm.Now(), pcie.WriteTLP{LineAddr: a.U0, DW0: uint32(a.U1)})
+	a.Obj2.(*TXRing).Complete()
+}
+
+// txCompleteFaultedEv retires the slot without the (faulted, skipped)
+// completion write: Arg.Obj is the *TXRing.
+func txCompleteFaultedEv(sm *sim.Simulator, a sim.Arg) {
+	a.Obj.(*TXRing).Complete()
 }

@@ -60,10 +60,30 @@ type Packet struct {
 	ArrivalTimePS int64
 	// Seq is a generator-assigned sequence number (diagnostics).
 	Seq uint64
+
+	// pool is the owning free-list when the packet is recycled; nil for
+	// one-shot packets, which Release ignores. store is the full-capacity
+	// backing array Frame slices into, retained so a recycled packet can
+	// serve any frame length up to its capacity without reallocating.
+	pool     *Pool
+	store    []byte
+	released bool
 }
 
 // Len returns the frame length in bytes.
 func (p *Packet) Len() int { return len(p.Frame) }
+
+// Release returns the packet to its owning pool, if any. A packet (and
+// its frame storage) must not be used after Release — the next Get may
+// hand it out again. Releasing a packet twice panics: it is the
+// use-after-free of this codebase and would silently alias two live
+// packets onto one buffer. Packets built outside a pool ignore Release.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	p.pool.put(p)
+}
 
 // Fields is the parsed view of a frame's headers.
 type Fields struct {
@@ -97,6 +117,12 @@ type Spec struct {
 	// FrameLen is the total frame size including all headers; payload
 	// is zero-filled. Must be >= HeadersLen.
 	FrameLen int
+	// Seq is the per-packet sequence number, stamped into the IPv4
+	// Identification field (low 16 bits) so consecutive frames of a flow
+	// are distinguishable on the wire. Generators stamp it via
+	// Template.Stamp on the hot path; Build writes the same bytes, so
+	// the two construction paths are byte-equal for any seq.
+	Seq uint64
 }
 
 // Build marshals a UDP/IPv4/Ethernet frame from the spec.
@@ -121,6 +147,7 @@ func Build(s Spec) ([]byte, error) {
 	ip[1] = s.DSCP << 2
 	ipTotal := s.FrameLen - EthHeaderLen
 	binary.BigEndian.PutUint16(ip[2:4], uint16(ipTotal))
+	binary.BigEndian.PutUint16(ip[4:6], uint16(s.Seq)) // Identification
 	ip[8] = s.TTL
 	ip[9] = ProtoUDP
 	copy(ip[12:16], s.SrcIP[:])
@@ -200,18 +227,41 @@ func ipChecksum(hdr []byte) uint16 {
 // one's-complement sum is order-independent), so the reply parses like
 // any generator-built frame.
 func EchoResponse(p *Packet) *Packet {
-	f := append([]byte(nil), p.Frame...)
-	swap := func(a, b, n int) {
-		for i := 0; i < n; i++ {
-			f[a+i], f[b+i] = f[b+i], f[a+i]
-		}
+	r := &Packet{}
+	echoInto(r, p)
+	return r
+}
+
+// EchoInto is EchoResponse into a pool-recycled packet: the reply
+// frame is built in r's recycled buffer (resized only if undersized),
+// so the steady-state echo path allocates nothing. r must come from a
+// Pool.Get (any frame length — it is resized to match p).
+func EchoInto(r *Packet, p *Packet) *Packet {
+	echoInto(r, p)
+	return r
+}
+
+// echoInto copies p's frame into r with the address pairs swapped.
+func echoInto(r *Packet, p *Packet) {
+	if cap(r.store) < len(p.Frame) {
+		r.store = make([]byte, len(p.Frame))
 	}
-	swap(0, 6, 6) // Ethernet dst ↔ src
+	f := r.store[:len(p.Frame)]
+	copy(f, p.Frame)
+	for i := 0; i < 6; i++ { // Ethernet dst ↔ src
+		f[i], f[6+i] = f[6+i], f[i]
+	}
 	ip := EthHeaderLen
-	swap(ip+12, ip+16, 4) // IPv4 src ↔ dst
+	for i := 0; i < 4; i++ { // IPv4 src ↔ dst
+		f[ip+12+i], f[ip+16+i] = f[ip+16+i], f[ip+12+i]
+	}
 	udp := EthHeaderLen + IPv4HeaderLen
-	swap(udp, udp+2, 2) // UDP src port ↔ dst port
-	return &Packet{Frame: f, Seq: p.Seq}
+	for i := 0; i < 2; i++ { // UDP src port ↔ dst port
+		f[udp+i], f[udp+2+i] = f[udp+2+i], f[udp+i]
+	}
+	r.Frame = f
+	r.Seq = p.Seq
+	r.ArrivalTimePS = 0
 }
 
 // SetDSCP rewrites the DS field of an already-built frame and fixes the

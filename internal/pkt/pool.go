@@ -1,0 +1,116 @@
+// Deterministic packet recycling. The simulator's hot loop used to
+// heap-allocate a ~1.5 KB frame plus a Packet header for every
+// simulated packet; at the rates the harness targets that makes the Go
+// allocator — not the cache model — the throughput ceiling. Pool is a
+// plain LIFO free list: explicitly Get, explicitly Release, no
+// sync.Pool. sync.Pool's per-P caches and GC-driven eviction make
+// reuse order depend on goroutine scheduling and collection timing;
+// this list's reuse order depends only on the simulated event order,
+// so replays (and -j1 vs -jN runs, which give each cell its own pools)
+// stay bit-identical.
+package pkt
+
+// PoolStats counts a pool's traffic. Outstanding (Gets - Puts) at the
+// end of a drained run is the leak detector: every packet that came
+// out must have been released back.
+type PoolStats struct {
+	// Gets and Puts count packets handed out and returned.
+	Gets, Puts uint64
+	// Allocs counts Gets that had to allocate because the free list was
+	// empty (or a frame outgrew its buffer): the pool's miss count. In
+	// an allocation-free steady state this stops growing once the
+	// in-flight high-water mark has been reached.
+	Allocs uint64
+	// Outstanding is Gets - Puts: packets currently held by callers.
+	Outstanding uint64
+	// HighWater is the maximum Outstanding ever observed — the pool's
+	// working-set size.
+	HighWater uint64
+}
+
+// Pool recycles Packets and their frame storage through the packet
+// lifecycle: generator → NIC ring → service → free → back here. It is
+// deliberately not safe for concurrent use — each simulated System
+// owns its pools, and parallel experiment cells never share one.
+type Pool struct {
+	free     []*Packet
+	frameCap int
+	null     bool
+	stats    PoolStats
+}
+
+// DefaultFrameCap sizes pool buffers to hold any standard frame.
+const DefaultFrameCap = MTUFrameLen
+
+// NewPool returns a pool whose recycled buffers hold frames up to
+// frameCap bytes (0 means DefaultFrameCap). The free list starts
+// empty; buffers are allocated on demand and retained forever after,
+// so a run's total allocation is bounded by its in-flight high-water
+// mark, not its packet count.
+func NewPool(frameCap int) *Pool {
+	if frameCap <= 0 {
+		frameCap = DefaultFrameCap
+	}
+	return &Pool{frameCap: frameCap}
+}
+
+// NewNullPool returns a pool that never recycles: Get always
+// allocates and Release discards. It exists for differential tests —
+// running the same workload over a real pool and a null pool must
+// produce byte-identical simulation output, proving recycling changes
+// memory reuse and nothing else.
+func NewNullPool() *Pool {
+	return &Pool{frameCap: DefaultFrameCap, null: true}
+}
+
+// Get hands out a packet whose Frame has the requested length (its
+// contents are whatever the previous user left — callers stamp or copy
+// over it). The packet must be returned with Release exactly once.
+func (p *Pool) Get(frameLen int) *Packet {
+	p.stats.Gets++
+	p.stats.Outstanding++
+	if p.stats.Outstanding > p.stats.HighWater {
+		p.stats.HighWater = p.stats.Outstanding
+	}
+	var pk *Packet
+	if n := len(p.free); n > 0 && !p.null {
+		pk = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		pk.released = false
+	} else {
+		cap := p.frameCap
+		if frameLen > cap {
+			cap = frameLen
+		}
+		p.stats.Allocs++
+		pk = &Packet{pool: p, store: make([]byte, cap)}
+	}
+	if cap(pk.store) < frameLen {
+		p.stats.Allocs++
+		pk.store = make([]byte, frameLen)
+	}
+	pk.Frame = pk.store[:frameLen]
+	pk.ArrivalTimePS = 0
+	pk.Seq = 0
+	return pk
+}
+
+// put returns a packet to the free list (via Packet.Release).
+func (p *Pool) put(pk *Packet) {
+	if pk.released {
+		panic("pkt: packet released twice")
+	}
+	pk.released = true
+	p.stats.Puts++
+	p.stats.Outstanding--
+	if !p.null {
+		p.free = append(p.free, pk)
+	}
+}
+
+// Outstanding returns the packets currently held by callers.
+func (p *Pool) Outstanding() uint64 { return p.stats.Outstanding }
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats { return p.stats }

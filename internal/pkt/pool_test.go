@@ -1,0 +1,128 @@
+package pkt
+
+import "testing"
+
+func TestPoolRecyclesLIFO(t *testing.T) {
+	pool := NewPool(0)
+	a := pool.Get(64)
+	b := pool.Get(64)
+	if a == b {
+		t.Fatal("two outstanding Gets returned the same packet")
+	}
+	a.Release()
+	b.Release()
+	// LIFO: the most recently released packet comes back first.
+	if got := pool.Get(64); got != b {
+		t.Fatal("first Get after release is not the last-released packet")
+	}
+	if got := pool.Get(64); got != a {
+		t.Fatal("second Get after release is not the first-released packet")
+	}
+	if st := pool.Stats(); st.Allocs != 2 {
+		t.Fatalf("allocs %d after warm reuse, want 2", st.Allocs)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pool := NewPool(0)
+	p := pool.Get(64)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestPoolResetsRecycledPacket(t *testing.T) {
+	pool := NewPool(0)
+	p := pool.Get(128)
+	p.Seq = 42
+	p.ArrivalTimePS = 99
+	p.Release()
+	q := pool.Get(64)
+	if q != p {
+		t.Fatal("expected the released packet back")
+	}
+	if q.Seq != 0 || q.ArrivalTimePS != 0 {
+		t.Fatalf("recycled packet not reset: Seq=%d ArrivalTimePS=%d", q.Seq, q.ArrivalTimePS)
+	}
+	if len(q.Frame) != 64 {
+		t.Fatalf("recycled frame len %d, want 64", len(q.Frame))
+	}
+}
+
+func TestPoolGrowsUndersizedBuffer(t *testing.T) {
+	pool := NewPool(64)
+	p := pool.Get(64)
+	p.Release()
+	q := pool.Get(1514) // outgrows the recycled 64-byte buffer
+	if q != p {
+		t.Fatal("expected the released packet back")
+	}
+	if len(q.Frame) != 1514 {
+		t.Fatalf("frame len %d, want 1514", len(q.Frame))
+	}
+	if st := pool.Stats(); st.Allocs != 2 {
+		t.Fatalf("allocs %d, want 2 (initial + regrow)", st.Allocs)
+	}
+}
+
+func TestPoolStatsAccounting(t *testing.T) {
+	pool := NewPool(0)
+	a := pool.Get(64)
+	b := pool.Get(64)
+	c := pool.Get(64)
+	a.Release()
+	b.Release()
+	st := pool.Stats()
+	want := PoolStats{Gets: 3, Puts: 2, Allocs: 3, Outstanding: 1, HighWater: 3}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+	if pool.Outstanding() != 1 {
+		t.Fatalf("Outstanding() = %d, want 1", pool.Outstanding())
+	}
+	c.Release()
+	if st := pool.Stats(); st.Outstanding != 0 || st.HighWater != 3 {
+		t.Fatalf("drained stats %+v", st)
+	}
+}
+
+func TestNullPoolNeverRecycles(t *testing.T) {
+	pool := NewNullPool()
+	a := pool.Get(64)
+	a.Release()
+	b := pool.Get(64)
+	if a == b {
+		t.Fatal("null pool recycled a packet")
+	}
+	b.Release()
+	st := pool.Stats()
+	if st.Allocs != 2 {
+		t.Fatalf("allocs %d, want one per Get", st.Allocs)
+	}
+	if st.Outstanding != 0 || st.Gets != 2 || st.Puts != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNullPoolStillCatchesDoubleRelease(t *testing.T) {
+	pool := NewNullPool()
+	p := pool.Get(64)
+	p.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release must panic even on a null pool")
+		}
+	}()
+	p.Release()
+}
+
+func TestOneShotPacketIgnoresRelease(t *testing.T) {
+	tmpl := MustTemplate(spec(64, 0))
+	p := tmpl.Packet(1)
+	p.Release() // no pool: must be a no-op, not a panic
+	p.Release()
+}

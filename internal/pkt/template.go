@@ -1,0 +1,86 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Template is a flow's frame built once, with the per-packet fields
+// stamped into a recycled buffer per transmission instead of
+// marshalling the whole frame. Only the IPv4 Identification field (the
+// low 16 bits of the sequence number) and the header checksum vary
+// between a flow's packets, so Stamp is a copy plus two 16-bit stores —
+// no per-packet marshalling and no per-packet allocation when the
+// destination buffer comes from a Pool.
+type Template struct {
+	base []byte // frame built for Seq 0
+	// sumNoID is the raw (unfolded) one's-complement partial sum of the
+	// IPv4 header with the Identification and checksum fields zero.
+	// checksum(id) = ^fold(sumNoID + id), bit-exact with what Build
+	// computes over the full header, because 16-bit word addition into a
+	// uint32 is commutative and the end-around-carry fold of the total is
+	// taken identically in both paths.
+	sumNoID uint32
+}
+
+// NewTemplate builds the flow's immutable frame template. The spec's
+// Seq is ignored (templates stamp it per packet).
+func NewTemplate(s Spec) (*Template, error) {
+	s.Seq = 0
+	base, err := Build(s)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{base: base}
+	ip := base[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	for i := 0; i < IPv4HeaderLen; i += 2 {
+		if i == 4 || i == 10 { // Identification, checksum
+			continue
+		}
+		t.sumNoID += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	return t, nil
+}
+
+// FrameLen returns the template's frame length in bytes.
+func (t *Template) FrameLen() int { return len(t.base) }
+
+// Stamp writes the template frame with the given sequence number into
+// p, resizing p's frame storage only if its capacity is below the
+// template length (pool-recycled packets of the right class never
+// resize). p.Seq is set alongside the stamped Identification field.
+func (t *Template) Stamp(p *Packet, seq uint64) {
+	if cap(p.store) < len(t.base) {
+		p.store = make([]byte, len(t.base))
+	}
+	p.Frame = p.store[:len(t.base)]
+	copy(p.Frame, t.base)
+	p.Seq = seq
+	if id := uint16(seq); id != 0 {
+		ip := p.Frame[EthHeaderLen:]
+		binary.BigEndian.PutUint16(ip[4:6], id)
+		sum := t.sumNoID + uint32(id)
+		for sum>>16 != 0 {
+			sum = (sum & 0xffff) + (sum >> 16)
+		}
+		binary.BigEndian.PutUint16(ip[10:12], ^uint16(sum))
+	}
+}
+
+// Packet is the one-shot convenience: allocate a fresh packet carrying
+// the stamped frame (equivalent to Build with the same spec and seq).
+func (t *Template) Packet(seq uint64) *Packet {
+	p := &Packet{}
+	t.Stamp(p, seq)
+	return p
+}
+
+// MustTemplate is NewTemplate for specs known valid at construction
+// time (generators validate their flow specs eagerly).
+func MustTemplate(s Spec) *Template {
+	t, err := NewTemplate(s)
+	if err != nil {
+		panic(fmt.Sprintf("pkt: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package pkt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Stamped frames must be byte-identical to a full Build of the same
+// spec — the template fast path may not change a single bit on the
+// wire, across frame sizes, DSCP values, and sequence numbers whose
+// low 16 bits exercise the Identification/checksum stamping.
+func TestTemplateStampMatchesBuild(t *testing.T) {
+	seqs := []uint64{0, 1, 2, 255, 256, 0x7fff, 0xfffe, 0xffff,
+		0x10000, 0x12345, 1<<32 + 9, 1<<48 + 0xbeef}
+	for _, frameLen := range []int{MinFrameLen, 64, 128, 1514} {
+		for _, dscp := range []uint8{0, 1, 7, 46, 63} {
+			s := spec(frameLen, dscp)
+			tmpl, err := NewTemplate(s)
+			if err != nil {
+				t.Fatalf("len=%d dscp=%d: %v", frameLen, dscp, err)
+			}
+			if tmpl.FrameLen() != frameLen {
+				t.Fatalf("template len %d, want %d", tmpl.FrameLen(), frameLen)
+			}
+			p := &Packet{}
+			for _, seq := range seqs {
+				s.Seq = seq
+				want, err := Build(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tmpl.Stamp(p, seq)
+				if !bytes.Equal(p.Frame, want) {
+					t.Fatalf("len=%d dscp=%d seq=%#x: stamped frame differs from Build", frameLen, dscp, seq)
+				}
+				if p.Seq != seq {
+					t.Fatalf("stamped packet Seq = %d, want %d", p.Seq, seq)
+				}
+			}
+		}
+	}
+}
+
+// Every possible Identification value must stamp to a frame that is
+// byte-equal to Build's and carries a checksum Parse accepts — the
+// incremental-checksum shortcut has exactly 2^16 distinct outcomes, so
+// sweep them all.
+func TestTemplateStampExhaustiveIDSweep(t *testing.T) {
+	s := spec(64, 0)
+	tmpl := MustTemplate(s)
+	p := &Packet{}
+	for seq := uint64(0); seq <= 0xffff; seq++ {
+		s.Seq = seq
+		want, err := Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl.Stamp(p, seq)
+		if !bytes.Equal(p.Frame, want) {
+			t.Fatalf("seq=%#x: stamped frame differs from Build", seq)
+		}
+		if _, err := Parse(p.Frame); err != nil {
+			t.Fatalf("seq=%#x: Parse rejects stamped frame: %v", seq, err)
+		}
+	}
+}
+
+// Stamping must parse back to the template's flow with the sequence
+// number in the Identification field.
+func TestTemplateStampParsesToFlow(t *testing.T) {
+	tmpl := MustTemplate(spec(256, 46))
+	p := tmpl.Packet(0xabcd1234)
+	got, err := Parse(p.Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id := binary.BigEndian.Uint16(p.Frame[EthHeaderLen+4 : EthHeaderLen+6]); id != 0x1234 {
+		t.Fatalf("Identification %#x, want low 16 bits of seq", id)
+	}
+	if got.DSCP != 46 || got.SrcPort != 5000 || got.DstPort != 8080 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+// A packet whose buffer already fits the template must be re-stamped
+// in place: no storage growth, so pool-recycled packets never
+// reallocate.
+func TestTemplateStampReusesStorage(t *testing.T) {
+	tmpl := MustTemplate(spec(1514, 0))
+	p := &Packet{}
+	tmpl.Stamp(p, 1)
+	before := &p.store[0]
+	for seq := uint64(2); seq < 10; seq++ {
+		tmpl.Stamp(p, seq)
+		if &p.store[0] != before {
+			t.Fatalf("seq=%d: stamp reallocated the frame storage", seq)
+		}
+	}
+	// A smaller template into the same buffer reuses it too.
+	small := MustTemplate(spec(64, 0))
+	small.Stamp(p, 3)
+	if &p.store[0] != before {
+		t.Fatal("smaller stamp reallocated the frame storage")
+	}
+	if len(p.Frame) != 64 {
+		t.Fatalf("frame len %d after smaller stamp", len(p.Frame))
+	}
+}
+
+// NewTemplate must reject what Build rejects.
+func TestTemplateRejectsBadSpec(t *testing.T) {
+	if _, err := NewTemplate(spec(10, 0)); err == nil {
+		t.Fatal("short frame must be rejected")
+	}
+	if _, err := NewTemplate(spec(100, 64)); err == nil {
+		t.Fatal("7-bit DSCP must be rejected")
+	}
+}

@@ -86,16 +86,43 @@ func (c Clock) ToCycles(d Duration) float64 {
 // that handlers can schedule follow-up work.
 type Event func(s *Simulator)
 
+// Arg is the inline payload of an argful event (see ArgEvent). Hot
+// paths that would otherwise capture per-packet state in a fresh
+// closure — a NIC and a TLP, a slot and a core index — put it here and
+// schedule a package-level handler instead: storing pointers in the
+// any fields and integers in U0/U1/I0 allocates nothing, whereas every
+// capturing closure is a fresh heap object. The fields are generic on
+// purpose; each scheduling site documents its own convention.
+type Arg struct {
+	Obj  any // primary object (component pointer)
+	Obj2 any // secondary object (packet, slot, ...)
+	U0   uint64
+	U1   uint64
+	I0   int
+}
+
+// ArgEvent is a scheduled callback carrying an inline Arg payload.
+// Handlers meant for the steady-state path must be package-level
+// functions (or otherwise pre-allocated), so that scheduling one is
+// allocation-free.
+type ArgEvent func(s *Simulator, arg Arg)
+
 // schedEvent is one queued callback. Events are stored by value inside
 // the queue's backing array (which doubles as the slab), so steady-state
 // scheduling performs no per-event heap allocation. Diagnostic names
 // passed to AtNamed are used at schedule time only and deliberately not
 // stored — a figure run processes ~10M events and the names would cost
-// 16 bytes each for a string nobody reads after the push.
+// 16 bytes each for a string nobody reads after the push. Exactly one
+// of fn/afn is set. An argful event's payload lives in the simulator's
+// arg slab, not here: heap sifts copy every element they touch, and
+// keeping the element at 40 bytes instead of 88 (Arg is 56 bytes) is
+// worth the one extra indexed load at dispatch.
 type schedEvent struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among same-time events
 	fn  Event
+	afn ArgEvent
+	arg int32 // index into Simulator.args; valid only when afn != nil
 }
 
 // lessEv orders events by (time, scheduling order). The order is total
@@ -228,6 +255,33 @@ type Simulator struct {
 	wdEnabled   bool
 	wdErr       *WatchdogError
 	sameInstant uint64 // consecutive events at the current instant
+
+	// args is the payload slab for argful events: slots are handed out
+	// at schedule time and recycled through argFree at dispatch, so the
+	// steady state reuses a fixed working set and the heap elements stay
+	// small (see schedEvent.arg).
+	args    []Arg
+	argFree []int32
+}
+
+// putArg stores an argful payload in the slab and returns its slot.
+func (s *Simulator) putArg(a Arg) int32 {
+	if n := len(s.argFree); n > 0 {
+		i := s.argFree[n-1]
+		s.argFree = s.argFree[:n-1]
+		s.args[i] = a
+		return i
+	}
+	s.args = append(s.args, a)
+	return int32(len(s.args) - 1)
+}
+
+// takeArg removes and returns the payload in slot i, recycling the slot.
+func (s *Simulator) takeArg(i int32) Arg {
+	a := s.args[i]
+	s.args[i] = Arg{} // release the object references for GC
+	s.argFree = append(s.argFree, i)
+	return a
 }
 
 // New returns an empty simulator positioned at time zero.
@@ -271,6 +325,31 @@ func (s *Simulator) After(d Duration, fn Event) {
 		panic("sim: negative delay")
 	}
 	s.At(s.now.Add(d), fn)
+}
+
+// AtArgNamed schedules an argful event at absolute time at. It is the
+// allocation-free twin of AtNamed: fn should be a package-level
+// handler and arg its inline payload, so nothing escapes to the heap.
+// Ordering is shared with plain events — both draw from the same seq
+// counter, so interleaving At and AtArgNamed calls preserves FIFO
+// order among same-time events exactly as before.
+func (s *Simulator) AtArgNamed(at Time, name string, fn ArgEvent, arg Arg) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	s.seq++
+	s.events.push(schedEvent{at: at, seq: s.seq, afn: fn, arg: s.putArg(arg)})
+}
+
+// AfterArg schedules an argful event d after the current time.
+func (s *Simulator) AfterArg(d Duration, fn ArgEvent, arg Arg) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	s.AtArgNamed(s.now.Add(d), "", fn, arg)
 }
 
 // Every schedules fn to run at a fixed period, starting at start. The
@@ -355,7 +434,11 @@ func (s *Simulator) RunUntil(horizon Time) uint64 {
 		s.now = next.at
 		s.processed++
 		s.sameInstant++
-		next.fn(s)
+		if next.afn != nil {
+			next.afn(s, s.takeArg(next.arg))
+		} else {
+			next.fn(s)
+		}
 		if s.wdEnabled {
 			s.checkWatchdog(start)
 		}

@@ -189,6 +189,17 @@ func (d *LatencyDist) Record(v sim.Duration) {
 	d.sorted = false
 }
 
+// Reserve pre-grows the sample store to hold at least n samples, so a
+// measured steady-state loop records without reallocating.
+func (d *LatencyDist) Reserve(n int) {
+	if cap(d.samples) >= n {
+		return
+	}
+	grown := make([]sim.Duration, len(d.samples), n)
+	copy(grown, d.samples)
+	d.samples = grown
+}
+
 // Count returns the number of samples.
 func (d *LatencyDist) Count() int { return len(d.samples) }
 

@@ -3,6 +3,14 @@
 // burst rate, and packets-per-burst (the paper sizes each burst to
 // exactly fill the DMA ring). This stands in for DPDK pktgen and the
 // hardware load-generator model used with gem5.
+//
+// Generators are allocation-free in steady state: each flow's frame is
+// built once as an immutable pkt.Template, and every emission stamps
+// the per-packet fields (sequence number, checksum delta) into a
+// packet recycled through a pkt.Pool. The pool is discovered from the
+// receiver when it exposes one (the NIC does — so packets return to
+// the pool when the ring slot is freed), otherwise the generator owns
+// a private pool that packets come back to via Packet.Release.
 package traffic
 
 import (
@@ -16,6 +24,28 @@ import (
 // Receiver consumes generated packets (the NIC implements this).
 type Receiver interface {
 	Receive(s *sim.Simulator, p *pkt.Packet)
+}
+
+// PacketPooler is implemented by receivers that own a packet pool the
+// generator should draw from (the NIC's System pool; links delegate to
+// their endpoint). Drawing from the consumer's pool closes the recycle
+// loop — generator → ring → service → free — inside one pool.
+type PacketPooler interface {
+	PacketPool() *pkt.Pool
+}
+
+// poolFor resolves the pool a generator draws from: an explicit
+// override first, then the receiver's own pool, then a private one.
+func poolFor(override *pkt.Pool, rx Receiver) *pkt.Pool {
+	if override != nil {
+		return override
+	}
+	if pp, ok := rx.(PacketPooler); ok {
+		if p := pp.PacketPool(); p != nil {
+			return p
+		}
+	}
+	return pkt.NewPool(0)
 }
 
 // Flow describes the packets of one generated stream.
@@ -33,21 +63,32 @@ func (f Flow) Tuple() pkt.FiveTuple {
 	return pkt.FiveTuple{Src: f.Src, Dst: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort, Proto: pkt.ProtoUDP}
 }
 
-func (f Flow) build(seq uint64) (*pkt.Packet, error) {
-	frame, err := pkt.Build(pkt.Spec{
+// Spec returns the frame spec for the flow's seq-th packet.
+func (f Flow) Spec(seq uint64) pkt.Spec {
+	return pkt.Spec{
 		SrcMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x10}, DstMAC: pkt.MAC{0x02, 0, 0, 0, 0, 0x20},
 		SrcIP: f.Src, DstIP: f.Dst, SrcPort: f.SrcPort, DstPort: f.DstPort,
-		DSCP: f.DSCP, FrameLen: f.FrameLen,
-	})
+		DSCP: f.DSCP, FrameLen: f.FrameLen, Seq: seq,
+	}
+}
+
+// Template builds the flow's immutable frame template (see
+// pkt.Template): the once-per-flow half of the zero-allocation path.
+func (f Flow) Template() (*pkt.Template, error) {
+	return pkt.NewTemplate(f.Spec(0))
+}
+
+func (f Flow) build(seq uint64) (*pkt.Packet, error) {
+	frame, err := pkt.Build(f.Spec(seq))
 	if err != nil {
 		return nil, err
 	}
 	return &pkt.Packet{Frame: frame, Seq: seq}, nil
 }
 
-// Packet builds the flow's seq-th frame — the exported form of the
-// generators' internal builder, used by fabric clients (internal/net)
-// that construct request packets outside this package.
+// Packet builds the flow's seq-th frame — the exported one-shot form,
+// byte-identical to what the template path stamps, used for validation
+// and tests (fabric clients stamp templates on their hot path).
 func (f Flow) Packet(seq uint64) (*pkt.Packet, error) { return f.build(seq) }
 
 // InterArrival returns the packet spacing for a given rate and frame
@@ -69,6 +110,33 @@ type Steady struct {
 	// stream instead.
 	Count uint64
 	Stop  sim.Time
+	// Pool, when non-nil, overrides packet-pool discovery (see
+	// PacketPooler). Tests inject pkt.NewNullPool here to prove pooling
+	// does not perturb simulation output.
+	Pool *pkt.Pool
+}
+
+// steadyRun is the per-stream emission state: one of these (plus one
+// stored event closure) is the stream's entire allocation budget —
+// every packet after that comes stamped out of the pool.
+type steadyRun struct {
+	tmpl   *pkt.Template
+	pool   *pkt.Pool
+	rx     Receiver
+	gap    sim.Duration
+	n      uint64
+	seq    uint64
+	emitFn sim.Event
+}
+
+func (r *steadyRun) emit(sm *sim.Simulator) {
+	p := r.pool.Get(r.tmpl.FrameLen())
+	r.tmpl.Stamp(p, r.seq)
+	r.seq++
+	r.rx.Receive(sm, p)
+	if r.seq < r.n {
+		sm.After(r.gap, r.emitFn)
+	}
 }
 
 // Install schedules the stream's arrivals on the simulator. It returns
@@ -83,18 +151,13 @@ func (g Steady) Install(s *sim.Simulator, rx Receiver) uint64 {
 		}
 		n = uint64(g.Stop.Sub(g.Start)/gap) + 1
 	}
-	var emit func(sm *sim.Simulator, seq uint64)
-	emit = func(sm *sim.Simulator, seq uint64) {
-		p, err := g.Flow.build(seq)
-		if err != nil {
-			panic(fmt.Sprintf("traffic: %v", err))
-		}
-		rx.Receive(sm, p)
-		if seq+1 < n {
-			sm.After(gap, func(sm2 *sim.Simulator) { emit(sm2, seq+1) })
-		}
+	tmpl, err := g.Flow.Template()
+	if err != nil {
+		panic(fmt.Sprintf("traffic: %v", err))
 	}
-	s.AtNamed(g.Start, "steady-start", func(sm *sim.Simulator) { emit(sm, 0) })
+	run := &steadyRun{tmpl: tmpl, pool: poolFor(g.Pool, rx), rx: rx, gap: gap, n: n}
+	run.emitFn = run.emit
+	s.AtNamed(g.Start, "steady-start", run.emitFn)
 	return n
 }
 
@@ -110,6 +173,8 @@ type Bursty struct {
 	PacketsPerBurst int
 	Start           sim.Time
 	NumBursts       int
+	// Pool overrides packet-pool discovery (see Steady.Pool).
+	Pool *pkt.Pool
 }
 
 // BurstLength returns the intra-burst duration from first to last
@@ -117,6 +182,23 @@ type Bursty struct {
 func (g Bursty) BurstLength() sim.Duration {
 	gap := InterArrival(g.BurstRateBps, g.Flow.FrameLen)
 	return sim.Duration(int64(gap) * int64(g.PacketsPerBurst-1))
+}
+
+// burstRun is the shared state of one bursty stream's pre-scheduled
+// emissions; the per-packet sequence number rides in the event's Arg.
+type burstRun struct {
+	tmpl *pkt.Template
+	pool *pkt.Pool
+	rx   Receiver
+}
+
+// emitBurstPkt fires one pre-scheduled emission: Arg.Obj is the
+// *burstRun, Arg.U0 the packet's sequence number.
+func emitBurstPkt(sm *sim.Simulator, a sim.Arg) {
+	r := a.Obj.(*burstRun)
+	p := r.pool.Get(r.tmpl.FrameLen())
+	r.tmpl.Stamp(p, a.U0)
+	r.rx.Receive(sm, p)
 }
 
 // Install schedules all bursts. Returns total packets generated.
@@ -130,21 +212,19 @@ func (g Bursty) Install(s *sim.Simulator, rx Receiver) uint64 {
 	if g.BurstLength() >= g.Period {
 		panic(fmt.Sprintf("traffic: burst length %v exceeds period %v", g.BurstLength(), g.Period))
 	}
+	tmpl, err := g.Flow.Template()
+	if err != nil {
+		panic(fmt.Sprintf("traffic: %v", err))
+	}
+	run := &burstRun{tmpl: tmpl, pool: poolFor(g.Pool, rx), rx: rx}
 	gap := InterArrival(g.BurstRateBps, g.Flow.FrameLen)
 	seq := uint64(0)
 	for b := 0; b < g.NumBursts; b++ {
 		burstStart := g.Start.Add(sim.Duration(int64(g.Period) * int64(b)))
 		for i := 0; i < g.PacketsPerBurst; i++ {
 			at := burstStart.Add(sim.Duration(int64(gap) * int64(i)))
-			mySeq := seq
+			s.AtArgNamed(at, "burst-pkt", emitBurstPkt, sim.Arg{Obj: run, U0: seq})
 			seq++
-			s.AtNamed(at, "burst-pkt", func(sm *sim.Simulator) {
-				p, err := g.Flow.build(mySeq)
-				if err != nil {
-					panic(fmt.Sprintf("traffic: %v", err))
-				}
-				rx.Receive(sm, p)
-			})
 		}
 	}
 	return seq
@@ -161,6 +241,35 @@ type Poisson struct {
 	Start   sim.Time
 	Count   uint64
 	Seed    int64
+	// Pool overrides packet-pool discovery (see Steady.Pool).
+	Pool *pkt.Pool
+}
+
+// poissonRun mirrors steadyRun with an exponential gap draw per
+// emission (the rng is seeded at install, so replays are identical).
+type poissonRun struct {
+	tmpl   *pkt.Template
+	pool   *pkt.Pool
+	rx     Receiver
+	rng    *rand.Rand
+	mean   float64
+	n      uint64
+	seq    uint64
+	emitFn sim.Event
+}
+
+func (r *poissonRun) emit(sm *sim.Simulator) {
+	p := r.pool.Get(r.tmpl.FrameLen())
+	r.tmpl.Stamp(p, r.seq)
+	r.seq++
+	r.rx.Receive(sm, p)
+	if r.seq < r.n {
+		gap := sim.Duration(r.rng.ExpFloat64() * r.mean)
+		if gap < 1 {
+			gap = 1
+		}
+		sm.After(gap, r.emitFn)
+	}
 }
 
 // Install schedules the stream's arrivals.
@@ -168,24 +277,18 @@ func (g Poisson) Install(s *sim.Simulator, rx Receiver) uint64 {
 	if g.Count == 0 {
 		panic("traffic: poisson stream needs Count")
 	}
-	mean := float64(InterArrival(g.RateBps, g.Flow.FrameLen))
-	rng := rand.New(rand.NewSource(g.Seed))
-	var emit func(sm *sim.Simulator, seq uint64)
-	emit = func(sm *sim.Simulator, seq uint64) {
-		p, err := g.Flow.build(seq)
-		if err != nil {
-			panic(fmt.Sprintf("traffic: %v", err))
-		}
-		rx.Receive(sm, p)
-		if seq+1 < g.Count {
-			gap := sim.Duration(rng.ExpFloat64() * mean)
-			if gap < 1 {
-				gap = 1
-			}
-			sm.After(gap, func(sm2 *sim.Simulator) { emit(sm2, seq+1) })
-		}
+	tmpl, err := g.Flow.Template()
+	if err != nil {
+		panic(fmt.Sprintf("traffic: %v", err))
 	}
-	s.AtNamed(g.Start, "poisson-start", func(sm *sim.Simulator) { emit(sm, 0) })
+	run := &poissonRun{
+		tmpl: tmpl, pool: poolFor(g.Pool, rx), rx: rx,
+		rng:  rand.New(rand.NewSource(g.Seed)),
+		mean: float64(InterArrival(g.RateBps, g.Flow.FrameLen)),
+		n:    g.Count,
+	}
+	run.emitFn = run.emit
+	s.AtNamed(g.Start, "poisson-start", run.emitFn)
 	return g.Count
 }
 
@@ -197,24 +300,46 @@ type Trace struct {
 	Flow     Flow
 	Times    []sim.Time
 	FrameLen []int // optional; parallel to Times
+	// Pool overrides packet-pool discovery (see Steady.Pool).
+	Pool *pkt.Pool
+}
+
+// traceRun is the shared state of one trace replay; each entry's
+// template (cached by frame length) rides in the event's Arg.
+type traceRun struct {
+	pool *pkt.Pool
+	rx   Receiver
+}
+
+func emitTracePkt(sm *sim.Simulator, a sim.Arg) {
+	r := a.Obj.(*traceRun)
+	tmpl := a.Obj2.(*pkt.Template)
+	p := r.pool.Get(tmpl.FrameLen())
+	tmpl.Stamp(p, a.U0)
+	r.rx.Receive(sm, p)
 }
 
 // Install schedules every arrival. Times need not be sorted.
 func (g Trace) Install(s *sim.Simulator, rx Receiver) uint64 {
+	run := &traceRun{pool: poolFor(g.Pool, rx), rx: rx}
+	tmpls := make(map[int]*pkt.Template) // one template per distinct frame length
 	for i, at := range g.Times {
-		flow := g.Flow
+		flen := g.Flow.FrameLen
 		if i < len(g.FrameLen) && g.FrameLen[i] > 0 {
-			flow.FrameLen = g.FrameLen[i]
+			flen = g.FrameLen[i]
 		}
-		seq := uint64(i)
-		f := flow
-		s.AtNamed(at, "trace-pkt", func(sm *sim.Simulator) {
-			p, err := f.build(seq)
+		tmpl, ok := tmpls[flen]
+		if !ok {
+			flow := g.Flow
+			flow.FrameLen = flen
+			var err error
+			tmpl, err = flow.Template()
 			if err != nil {
 				panic(fmt.Sprintf("traffic: %v", err))
 			}
-			rx.Receive(sm, p)
-		})
+			tmpls[flen] = tmpl
+		}
+		s.AtArgNamed(at, "trace-pkt", emitTracePkt, sim.Arg{Obj: run, Obj2: tmpl, U0: uint64(i)})
 	}
 	return uint64(len(g.Times))
 }

@@ -11,6 +11,7 @@ import (
 	fnet "idio/internal/net"
 	"idio/internal/nic"
 	"idio/internal/obs"
+	"idio/internal/pkt"
 	"idio/internal/sim"
 	"idio/internal/stats"
 )
@@ -90,6 +91,12 @@ type Results struct {
 	// zero value means no fault layer was configured.
 	Faults fault.Stats
 
+	// PktPool snapshots the host packet pool's recycling counters.
+	// After a drained run Outstanding must be zero — a non-zero value
+	// means pooled packets leaked (a lifecycle bug), and WriteStats
+	// surfaces the full accounting.
+	PktPool pkt.PoolStats
+
 	// Fabric and RPC carry the network-fabric and client-side summaries
 	// of a Cluster run; both are nil for single-host runs, so existing
 	// outputs are unchanged.
@@ -164,6 +171,7 @@ func (s *System) Collect() Results {
 	if s.Faults != nil {
 		r.Faults = s.Faults.Stats()
 	}
+	r.PktPool = s.PktPool.Stats()
 	var wd *sim.WatchdogError
 	if err := s.Sim.Err(); err != nil {
 		if werr, ok := err.(*sim.WatchdogError); ok {
@@ -346,6 +354,22 @@ func (r Results) WriteStats(w io.Writer) error {
 		{"exe_time_us", r.ExeTime.Microseconds()},
 		{"sim.aborted", boolToInt(r.Aborted != nil)},
 	}
+	// Pool-leak visibility, following the fault-keys pattern: a healthy
+	// drained run has zero outstanding pooled packets and the keys stay
+	// absent (legacy outputs unchanged); a leak surfaces the full
+	// accounting.
+	if r.PktPool.Outstanding > 0 {
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
+			{"pkt_pool.gets", r.PktPool.Gets},
+			{"pkt_pool.puts", r.PktPool.Puts},
+			{"pkt_pool.allocs", r.PktPool.Allocs},
+			{"pkt_pool.outstanding", r.PktPool.Outstanding},
+			{"pkt_pool.high_water", r.PktPool.HighWater},
+		}...)
+	}
 	if r.Faults.Total() > 0 {
 		kv = append(kv, []struct {
 			k string
@@ -472,6 +496,11 @@ func (r Results) String() string {
 		fmt.Fprintf(&b, "  rpc: issued=%d resp=%d timeouts=%d late=%d goodput=%.2fGbps p50=%.2fus p99=%.2fus p999=%.2fus\n",
 			rpc.Issued, rpc.Responses, rpc.Timeouts, rpc.Late, rpc.GoodputBps/1e9,
 			rpc.P50.Microseconds(), rpc.P99.Microseconds(), rpc.P999.Microseconds())
+	}
+	if r.PktPool.Outstanding > 0 {
+		fmt.Fprintf(&b, "  pkt pool: outstanding=%d (gets=%d puts=%d allocs=%d hwm=%d)\n",
+			r.PktPool.Outstanding, r.PktPool.Gets, r.PktPool.Puts,
+			r.PktPool.Allocs, r.PktPool.HighWater)
 	}
 	if r.Aborted != nil {
 		fmt.Fprintf(&b, "  ABORTED: %v\n", r.Aborted)

@@ -12,6 +12,9 @@ go test -race ./internal/...
 GOMAXPROCS=2 go test -race ./internal/experiment
 GOMAXPROCS=2 go test -race ./internal/net
 go test -run '^$' -bench . -benchtime=1x ./...
+# Allocation regression gate: the steady-state packet loop must stay
+# at zero heap allocations per packet (see alloc_test.go).
+go test -run 'TestAllocsPerPacket|TestNullPoolByteIdentical' -count=1 .
 # Observability smoke: run a short traced scenario and validate that
 # the Chrome trace and the metrics JSON both parse.
 obsdir=$(mktemp -d)

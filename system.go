@@ -118,6 +118,15 @@ type System struct {
 	// fault-injection layer; its Stats() reports what was perturbed.
 	Faults *fault.Injector
 
+	// PktPool recycles the *pkt.Packet objects (and their frame
+	// storage) flowing through this host: traffic generators targeting
+	// any port discover it via the PacketPooler probe, packets return
+	// to it when their RX ring slot is freed (or when a drop path
+	// kills them), and a Cluster draws its fabric request/response
+	// packets from it too. One pool per host gives one accounting
+	// point: after a drained run, Outstanding() must be zero.
+	PktPool *pkt.Pool
+
 	// Occupancy gauges, populated when Config.OccupancySampling > 0.
 	LLCOcc   *stats.LevelSeries
 	LLCIOOcc *stats.LevelSeries
@@ -189,9 +198,11 @@ func NewHostE(sm *sim.Simulator, cfg Config) (*System, error) {
 	if nPorts <= 0 {
 		nPorts = 1
 	}
+	s.PktPool = pkt.NewPool(0)
 	for p := 0; p < nPorts; p++ {
 		port := nic.New(cfg.NIC, s.layout, sink, s.Classifier, s.FlowDir)
 		port.SetObserver(s.obs)
+		port.SetPacketPool(s.PktPool)
 		s.ports = append(s.ports, port)
 	}
 	s.NIC = s.ports[0]

@@ -52,6 +52,14 @@ func TestSystemEndToEndDDIO(t *testing.T) {
 	if res.Cores[0].P99 < res.Cores[0].P50 {
 		t.Fatal("percentiles inconsistent")
 	}
+	// Drained run: every generated packet must have come back to the
+	// host pool.
+	if res.PktPool.Outstanding != 0 {
+		t.Fatalf("packet pool leak after drain: %+v", res.PktPool)
+	}
+	if res.PktPool.Gets == 0 {
+		t.Fatal("generator did not draw from the host pool")
+	}
 }
 
 func TestSystemIDIOBeatsDDIO(t *testing.T) {
