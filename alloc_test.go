@@ -13,6 +13,7 @@ import (
 	"idio/internal/apps"
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	fnet "idio/internal/net"
 	"idio/internal/pkt"
 	"idio/internal/sim"
 	"idio/internal/traffic"
@@ -31,6 +32,9 @@ func TestAllocsPerPacket(t *testing.T) {
 	cfg.NIC.RingSize = benchRing
 	cfg.Policy = idiocore.PolicyIDIO
 	cfg.Hier.TimelineBucket = 0 // timelines append one bucket per interval, not per packet
+	// Admission control is on the steered hot path; it must not cost an
+	// allocation (a high watermark keeps the check armed but not firing).
+	cfg.NIC.AdmissionWatermark = benchRing
 	sys := idio.NewSystem(cfg)
 	flow := sys.DefaultFlow(0)
 	c := sys.AddNF(0, apps.TouchDrop{}, flow)
@@ -101,5 +105,54 @@ func TestNullPoolByteIdentical(t *testing.T) {
 	}
 	if pres.PktPool.Allocs >= pres.PktPool.Gets {
 		t.Fatalf("pool never recycled: %+v", pres.PktPool)
+	}
+}
+
+// TestClusterAllocsPerRequest asserts the fabric RPC loop stays off
+// the heap with the resilience stack armed: retrying clients (per-
+// attempt sequence numbers, timeout events, request-state tracking),
+// AQM on every link, and DUT admission control. Faults never fire in
+// the measured window — this is the steady-state cost of being ready
+// to degrade.
+func TestClusterAllocsPerRequest(t *testing.T) {
+	ccfg := idio.DefaultClusterConfig(1, 1)
+	ccfg.Host.Hier.MLCSize = benchMLC
+	ccfg.Host.Hier.LLCSize = benchLLC
+	ccfg.Host.NIC.RingSize = benchRing
+	ccfg.Host.Policy = idiocore.PolicyIDIO
+	ccfg.Host.Hier.TimelineBucket = 0
+	ccfg.Host.NIC.AdmissionWatermark = benchRing
+	ccfg.ClientLink.AQMTarget = 50 * sim.Microsecond
+	ccfg.ServerLink.AQMTarget = 50 * sim.Microsecond
+	cl, err := idio.NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl.DUT.AddNF(0, apps.L2Fwd{}, cl.DUT.DefaultFlow(0))
+	c := cl.AddRPCClient(0, 0, fnet.ClientConfig{
+		Mode: fnet.ModeClosed, Outstanding: 8, Requests: 1 << 30,
+		Timeout: 500 * sim.Microsecond,
+		Retry:   &fnet.RetryConfig{MaxRetries: 3, Backoff: 100 * sim.Microsecond, JitterFrac: 0.25, Seed: 3},
+	})
+	cl.Start()
+
+	now := sim.Time(4 * sim.Millisecond)
+	cl.Sim.RunUntil(now)
+	warm := c.Responses()
+	if warm == 0 {
+		t.Fatal("warm-up answered no requests")
+	}
+	const step = 500 * sim.Microsecond
+	avg := testing.AllocsPerRun(100, func() {
+		now = now.Add(step)
+		cl.Sim.RunUntil(now)
+	})
+	reqs := c.Responses() - warm
+	if reqs == 0 {
+		t.Fatal("measured window answered no requests")
+	}
+	if avg != 0 {
+		t.Fatalf("%.2f allocs per %v slice (%d requests measured): the armed resilience stack must not allocate",
+			avg, step, reqs)
 	}
 }

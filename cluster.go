@@ -287,6 +287,9 @@ func (cl *Cluster) Collect() Results {
 			rpc.Responses += st.Responses
 			rpc.Timeouts += st.Timeouts
 			rpc.Late += st.Late
+			rpc.Retries += st.Retries
+			rpc.Hedges += st.Hedges
+			rpc.Failed += st.Failed
 			rxBytes += c.RxBytes()
 			if fs := c.FirstSend(); i == 0 || fs < first {
 				first = fs

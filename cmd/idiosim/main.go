@@ -45,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|rpc|verify|all")
+	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|rpc|chaos|verify|all")
 	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
 	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
 	par := flag.Int("j", 1, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = serial)")
@@ -118,7 +118,7 @@ func main() {
 		return
 	}
 
-	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation", "rpc"}
+	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation", "rpc", "chaos"}
 	targets := []string{*exp}
 	if *exp == "all" {
 		targets = all
@@ -319,6 +319,20 @@ func (r *runner) run(name string, w io.Writer) error {
 		return experiment.WriteTable(w,
 			"RPC: end-to-end latency vs offered load over the fabric (DDIO vs IDIO)",
 			experiment.RPCHeader(), experiment.Rows(rows))
+
+	case "chaos":
+		opts := experiment.DefaultChaosOpts()
+		opts.Parallelism = r.par
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+			opts.Requests = 10000
+			opts.Horizon = 25 * sim.Millisecond
+		}
+		rows := experiment.Chaos(opts)
+		return experiment.WriteTable(w,
+			"Chaos: scripted fault timeline, per-phase behaviour and time-to-recover (DDIO vs IDIO)",
+			experiment.ChaosHeader(), experiment.Rows(rows))
 
 	case "degradation":
 		opts := experiment.DefaultDegradationOpts()

@@ -127,6 +127,53 @@ type CoreStallConfig struct {
 	Core   int
 }
 
+// Phase is one scheduled entry of a fault timeline: a perturbation of
+// one layer that begins at a fixed simulation time, persists for a
+// fixed duration, and then clears. Unlike the periodic injectors,
+// timeline phases draw nothing from the random generator — the whole
+// schedule is declared up front, so chaos experiments can measure
+// degradation AND recovery against known fault boundaries.
+type Phase struct {
+	// Layer and Kind name the perturbation. Supported pairs:
+	//
+	//	fabric / down      — attached fabric link Target held down
+	//	fabric / degrade   — link Target's rate scaled to Magnitude (0,1)
+	//	nic    / dma-stall — port Target's DMA engine held for Duration
+	//	dram   / spike     — Magnitude ns of extra latency per access
+	//	core   / stall     — core Target's driver loop frozen for Duration
+	Layer string
+	Kind  string
+	// Start is when the phase begins; Duration how long it persists.
+	Start    sim.Time
+	Duration sim.Duration
+	// Magnitude parameterises the perturbation: the rate factor in
+	// (0,1) for fabric/degrade, the extra latency in nanoseconds for
+	// dram/spike. Unused (and ignored) by the other kinds.
+	Magnitude float64
+	// Target selects the victim by attach order: links for fabric
+	// phases, ports for nic, cores for core. Ignored for dram. A
+	// target index with no attached victim skips the phase.
+	Target int
+}
+
+// phaseKinds maps every supported layer to its kinds.
+var phaseKinds = map[string][]string{
+	"fabric": {"down", "degrade"},
+	"nic":    {"dma-stall"},
+	"dram":   {"spike"},
+	"core":   {"stall"},
+}
+
+// validKind reports whether layer/kind is a supported pair.
+func validKind(layer, kind string) bool {
+	for _, k := range phaseKinds[layer] {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // Config aggregates every injector. Nil sub-configs are disabled; the
 // zero value injects nothing.
 type Config struct {
@@ -143,13 +190,17 @@ type Config struct {
 	CoreStall     *CoreStallConfig
 	FabricFlap    *FabricFlapConfig
 	FabricDegrade *FabricDegradeConfig
+
+	// Timeline schedules deterministic fault phases alongside (or
+	// instead of) the periodic injectors.
+	Timeline []Phase
 }
 
 // Enabled reports whether any injector is configured.
 func (c *Config) Enabled() bool {
 	return c != nil && (c.PCIe != nil || c.LinkFlap != nil || c.DMAStall != nil ||
 		c.MbufLeak != nil || c.DRAMSpike != nil || c.SnoopThrash != nil || c.CoreStall != nil ||
-		c.FabricFlap != nil || c.FabricDegrade != nil)
+		c.FabricFlap != nil || c.FabricDegrade != nil || len(c.Timeline) > 0)
 }
 
 // Validate checks every enabled injector's parameters, returning one
@@ -246,6 +297,49 @@ func (c *Config) Validate() error {
 			bad("FabricDegrade.Length %v must be positive", d.Length)
 		}
 	}
+	for i, ph := range c.Timeline {
+		if !validKind(ph.Layer, ph.Kind) {
+			bad("Timeline[%d] unknown layer/kind %q/%q", i, ph.Layer, ph.Kind)
+			continue
+		}
+		if ph.Start < 0 {
+			bad("Timeline[%d] start %v must be >= 0", i, ph.Start)
+		}
+		if ph.Duration <= 0 {
+			bad("Timeline[%d] duration %v must be positive", i, ph.Duration)
+		}
+		if ph.Target < 0 {
+			bad("Timeline[%d] target %d must be >= 0", i, ph.Target)
+		}
+		switch {
+		case ph.Layer == "fabric" && ph.Kind == "degrade":
+			if ph.Magnitude <= 0 || ph.Magnitude >= 1 {
+				bad("Timeline[%d] fabric/degrade magnitude %v outside (0,1)", i, ph.Magnitude)
+			}
+		case ph.Layer == "dram":
+			if ph.Magnitude <= 0 {
+				bad("Timeline[%d] dram/spike magnitude %v ns must be positive", i, ph.Magnitude)
+			}
+		}
+		// Two phases on the same target of the same layer must not
+		// overlap: the second's revert would clear (or double-apply)
+		// the first's perturbation mid-window.
+		for j := 0; j < i; j++ {
+			prev := c.Timeline[j]
+			// All dram phases share the one memory device regardless of
+			// their Target field.
+			sameTarget := prev.Target == ph.Target || ph.Layer == "dram"
+			if prev.Layer != ph.Layer || !sameTarget || !validKind(prev.Layer, prev.Kind) {
+				continue
+			}
+			if prev.Duration <= 0 || ph.Duration <= 0 {
+				continue // already reported above
+			}
+			if ph.Start < prev.Start.Add(prev.Duration) && prev.Start < ph.Start.Add(ph.Duration) {
+				bad("Timeline[%d] overlaps Timeline[%d] on %s target %d", i, j, ph.Layer, ph.Target)
+			}
+		}
+	}
 	return errors.Join(errs...)
 }
 
@@ -262,6 +356,10 @@ type Stats struct {
 	CoreStalls     uint64 // slow-core stalls issued
 	FabricFlaps    uint64 // fabric link-down windows opened
 	FabricDegrades uint64 // fabric link-rate degradation windows opened
+	// TimelinePhases counts scheduled timeline phases applied (each
+	// phase also increments its kind's counter above, so Total stays
+	// the sum of individual perturbations).
+	TimelinePhases uint64
 }
 
 // Total sums every perturbation count (spike/flap windows count once).
@@ -295,6 +393,7 @@ type Injector struct {
 	coreStalls     stats.Counter
 	fabricFlaps    stats.Counter
 	fabricDegrades stats.Counter
+	timelinePhases stats.Counter
 
 	started bool
 }
@@ -339,6 +438,7 @@ func (in *Injector) Stats() Stats {
 		CoreStalls:     in.coreStalls.Value(),
 		FabricFlaps:    in.fabricFlaps.Value(),
 		FabricDegrades: in.fabricDegrades.Value(),
+		TimelinePhases: in.timelinePhases.Value(),
 	}
 }
 
@@ -511,6 +611,61 @@ func (in *Injector) Start(s *sim.Simulator) {
 			in.coreStalls.Inc()
 		})
 	}
+	for i := range in.cfg.Timeline {
+		ph := in.cfg.Timeline[i]
+		s.AtNamed(ph.Start, "fault-phase", func(sm *sim.Simulator) {
+			in.applyPhase(sm, ph)
+		})
+	}
+}
+
+// applyPhase fires one timeline phase at its start instant: apply the
+// perturbation, and (for the stateful kinds) schedule the revert at
+// start+duration. Phases draw nothing from the rng, so a timeline is
+// deterministic regardless of what else is configured.
+func (in *Injector) applyPhase(sm *sim.Simulator, ph Phase) {
+	switch ph.Layer {
+	case "fabric":
+		if ph.Target >= len(in.links) {
+			return
+		}
+		link := in.links[ph.Target]
+		switch ph.Kind {
+		case "down":
+			link.SetDown(true)
+			in.fabricFlaps.Inc()
+			sm.After(ph.Duration, func(*sim.Simulator) { link.SetDown(false) })
+		case "degrade":
+			link.SetRateFactor(ph.Magnitude)
+			in.fabricDegrades.Inc()
+			sm.After(ph.Duration, func(*sim.Simulator) { link.SetRateFactor(1) })
+		default:
+			return
+		}
+	case "nic":
+		if ph.Target >= len(in.ports) {
+			return
+		}
+		in.ports[ph.Target].StallDMA(sm.Now(), ph.Duration)
+		in.dmaStalls.Inc()
+	case "dram":
+		if in.mem == nil {
+			return
+		}
+		mem := in.mem
+		mem.SetExtraLatency(sim.Duration(ph.Magnitude * float64(sim.Nanosecond)))
+		in.dramSpikes.Inc()
+		sm.After(ph.Duration, func(*sim.Simulator) { mem.SetExtraLatency(0) })
+	case "core":
+		if ph.Target >= len(in.cores) {
+			return
+		}
+		in.cores[ph.Target].InjectStall(sm.Now(), ph.Duration)
+		in.coreStalls.Inc()
+	default:
+		return
+	}
+	in.timelinePhases.Inc()
 }
 
 func maxInt(a, b int) int {

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"idio/internal/dram"
+	fnet "idio/internal/net"
 	"idio/internal/pcie"
+	"idio/internal/pkt"
 	"idio/internal/sim"
 )
 
@@ -209,5 +211,137 @@ func TestDRAMSpikeInjector(t *testing.T) {
 	}
 	if d.PenalizedAccesses() >= d.Reads() {
 		t.Fatalf("penalty stuck on: %d of %d reads penalized", d.PenalizedAccesses(), d.Reads())
+	}
+}
+
+// TestTimelineValidate covers every timeline constraint with one case
+// per error message.
+func TestTimelineValidate(t *testing.T) {
+	ms := sim.Millisecond
+	at := func(msAt float64) sim.Time { return sim.Time(msAt * float64(ms)) }
+	good := []Phase{
+		{Layer: "fabric", Kind: "degrade", Start: at(1), Duration: ms, Magnitude: 0.25},
+		{Layer: "fabric", Kind: "down", Start: at(1), Duration: ms, Target: 1},
+		{Layer: "nic", Kind: "dma-stall", Start: at(3), Duration: ms},
+		{Layer: "dram", Kind: "spike", Start: at(4), Duration: ms, Magnitude: 100},
+		{Layer: "core", Kind: "stall", Start: at(5), Duration: ms, Target: 1},
+		{Layer: "fabric", Kind: "down", Start: at(6), Duration: ms, Target: 1},
+	}
+	if err := (&Config{Timeline: good}).Validate(); err != nil {
+		t.Fatalf("valid timeline rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		tl     []Phase
+		substr string
+	}{
+		{"unknown layer",
+			[]Phase{{Layer: "disk", Kind: "down", Duration: ms}},
+			`Timeline[0] unknown layer/kind "disk"/"down"`},
+		{"unknown kind",
+			[]Phase{{Layer: "fabric", Kind: "spike", Duration: ms}},
+			`Timeline[0] unknown layer/kind "fabric"/"spike"`},
+		{"negative start",
+			[]Phase{{Layer: "fabric", Kind: "down", Start: -1, Duration: ms}},
+			"Timeline[0] start"},
+		{"zero duration",
+			[]Phase{{Layer: "nic", Kind: "dma-stall", Start: at(1)}},
+			"Timeline[0] duration 0 must be positive"},
+		{"negative duration",
+			[]Phase{{Layer: "core", Kind: "stall", Start: at(1), Duration: -ms}},
+			"must be positive"},
+		{"negative target",
+			[]Phase{{Layer: "core", Kind: "stall", Duration: ms, Target: -1}},
+			"Timeline[0] target -1"},
+		{"degrade magnitude zero",
+			[]Phase{{Layer: "fabric", Kind: "degrade", Duration: ms}},
+			"fabric/degrade magnitude 0 outside (0,1)"},
+		{"degrade magnitude one",
+			[]Phase{{Layer: "fabric", Kind: "degrade", Duration: ms, Magnitude: 1}},
+			"fabric/degrade magnitude"},
+		{"dram magnitude missing",
+			[]Phase{{Layer: "dram", Kind: "spike", Duration: ms}},
+			"dram/spike magnitude"},
+		{"overlap same layer and target",
+			[]Phase{
+				{Layer: "fabric", Kind: "down", Start: at(1), Duration: 2 * ms},
+				{Layer: "fabric", Kind: "degrade", Start: at(2), Duration: 2 * ms, Magnitude: 0.5},
+			},
+			"Timeline[1] overlaps Timeline[0] on fabric target 0"},
+		{"dram phases always share the device",
+			[]Phase{
+				{Layer: "dram", Kind: "spike", Start: at(1), Duration: 2 * ms, Magnitude: 10},
+				{Layer: "dram", Kind: "spike", Start: at(2), Duration: ms, Magnitude: 10, Target: 7},
+			},
+			"Timeline[1] overlaps Timeline[0] on dram"},
+	}
+	for _, tc := range cases {
+		err := (&Config{Timeline: tc.tl}).Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+	// Concurrent phases on DIFFERENT targets of the same layer are
+	// legal — that is how multi-link chaos scenarios are written.
+	disjoint := []Phase{
+		{Layer: "fabric", Kind: "down", Start: at(1), Duration: ms, Target: 0},
+		{Layer: "fabric", Kind: "down", Start: at(1), Duration: ms, Target: 1},
+	}
+	if err := (&Config{Timeline: disjoint}).Validate(); err != nil {
+		t.Fatalf("different-target concurrent phases rejected: %v", err)
+	}
+	if !(&Config{Timeline: disjoint}).Enabled() {
+		t.Fatal("timeline-only config not Enabled")
+	}
+}
+
+// nullEndpoint terminates fabric packets (timeline phase test).
+type nullEndpoint struct{}
+
+func (nullEndpoint) Receive(_ *sim.Simulator, p *pkt.Packet) { p.Release() }
+
+// TestTimelineFabricPhase drives one scheduled fabric/down phase
+// against an attached link and checks the full lifecycle: applied at
+// Start, reverted at Start+Duration, counted once — and a phase whose
+// target has no attached victim is skipped without effect.
+func TestTimelineFabricPhase(t *testing.T) {
+	s := sim.New()
+	link := fnet.NewLink(fnet.LinkConfig{Name: "l0", RateBps: 100e9}, nullEndpoint{})
+	in := New(Config{Timeline: []Phase{
+		{Layer: "fabric", Kind: "down", Start: sim.Time(10 * sim.Microsecond), Duration: 20 * sim.Microsecond},
+		{Layer: "fabric", Kind: "degrade", Start: sim.Time(50 * sim.Microsecond), Duration: 10 * sim.Microsecond, Magnitude: 0.5, Target: 9},
+	}})
+	in.AttachLink(link)
+	in.Start(s)
+
+	down := map[sim.Time]bool{}
+	for _, at := range []sim.Time{
+		sim.Time(5 * sim.Microsecond),  // before the phase
+		sim.Time(15 * sim.Microsecond), // inside it
+		sim.Time(45 * sim.Microsecond), // after the revert
+		sim.Time(55 * sim.Microsecond), // inside the skipped phase's span
+	} {
+		at := at
+		s.At(at, func(*sim.Simulator) { down[at] = link.Down() })
+	}
+	s.RunUntil(sim.Time(100 * sim.Microsecond))
+
+	if down[sim.Time(5*sim.Microsecond)] || !down[sim.Time(15*sim.Microsecond)] || down[sim.Time(45*sim.Microsecond)] {
+		t.Fatalf("down-phase lifecycle wrong: %v", down)
+	}
+	if f := link.RateFactor(); f != 1 {
+		t.Fatalf("degrade phase with no attached target %d changed the rate factor to %v", 9, f)
+	}
+	st := in.Stats()
+	if st.TimelinePhases != 1 || st.FabricFlaps != 1 || st.FabricDegrades != 0 {
+		t.Fatalf("phases=%d flaps=%d degrades=%d; want 1/1/0 (second phase skipped)",
+			st.TimelinePhases, st.FabricFlaps, st.FabricDegrades)
+	}
+	if st.Total() != 1 {
+		t.Fatalf("Total %d, want 1 (timeline phases fold into their kind counters)", st.Total())
 	}
 }

@@ -1,7 +1,9 @@
 package net
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 
 	"idio/internal/obs"
 	"idio/internal/pkt"
@@ -43,6 +45,63 @@ func (m Mode) String() string {
 // response before reissuing the window slot.
 const DefaultTimeout = sim.Duration(1) * sim.Millisecond
 
+// RetryConfig enables real retry discipline on a client: instead of
+// the legacy fixed-timeout blind reissue (a timed-out slot issues a
+// brand-new request), a timed-out request is retransmitted with
+// exponential backoff and deterministic jitter, up to a per-request
+// retry budget. Every attempt — original, retry, or hedge — carries a
+// unique wire sequence number, so a response is always matched to the
+// exact attempt that elicited it (Karn's rule: no retransmission
+// ambiguity in the latency samples) and late responses to superseded
+// attempts fall through to Late.
+type RetryConfig struct {
+	// MaxRetries bounds retransmissions per request beyond the first
+	// attempt; a request whose budget is spent is abandoned (Failed).
+	MaxRetries int
+	// Backoff is the delay before the first retry; it doubles per
+	// subsequent retry. 0 means the client's Timeout.
+	Backoff sim.Duration
+	// MaxBackoff caps the doubled delay. 0 means 8x Backoff.
+	MaxBackoff sim.Duration
+	// JitterFrac scales each backoff by a deterministic factor drawn
+	// uniformly from [1-JitterFrac, 1+JitterFrac); 0 disables jitter.
+	// Must be in [0,1).
+	JitterFrac float64
+	// Seed drives the jitter PRNG. Equal seeds give bit-identical
+	// backoff schedules; give concurrent clients distinct seeds so
+	// their retries do not phase-lock.
+	Seed int64
+	// Hedge, when > 0, issues one duplicate attempt this long after
+	// the original if no response has arrived yet — the hedged-request
+	// tail-latency defence. The first response wins; the loser counts
+	// as Late.
+	Hedge sim.Duration
+}
+
+// Validate checks the retry parameters.
+func (r *RetryConfig) Validate() error {
+	if r == nil {
+		return nil
+	}
+	var errs []error
+	if r.MaxRetries < 0 {
+		errs = append(errs, fmt.Errorf("net: retry MaxRetries %d must be >= 0", r.MaxRetries))
+	}
+	if r.Backoff < 0 {
+		errs = append(errs, fmt.Errorf("net: retry Backoff %v must be >= 0", r.Backoff))
+	}
+	if r.MaxBackoff < 0 {
+		errs = append(errs, fmt.Errorf("net: retry MaxBackoff %v must be >= 0", r.MaxBackoff))
+	}
+	if r.JitterFrac < 0 || r.JitterFrac >= 1 {
+		errs = append(errs, fmt.Errorf("net: retry JitterFrac %v outside [0,1)", r.JitterFrac))
+	}
+	if r.Hedge < 0 {
+		errs = append(errs, fmt.Errorf("net: retry Hedge %v must be >= 0", r.Hedge))
+	}
+	return errors.Join(errs...)
+}
+
 // ClientConfig describes one RPC client.
 type ClientConfig struct {
 	// Flow is the request template: Src must be the client's address
@@ -67,17 +126,29 @@ type ClientConfig struct {
 	// into this shared histogram (aggregate percentiles across
 	// clients). Each client always keeps its own histogram too.
 	Hist *stats.Histogram
+	// Retry, when non-nil, replaces the legacy blind reissue with
+	// exponential-backoff retransmission (see RetryConfig). Nil keeps
+	// the historical behaviour bit-for-bit.
+	Retry *RetryConfig
 }
 
 // ClientStats summarises one client's run.
 type ClientStats struct {
 	Issued    uint64
 	Responses uint64
-	// Timeouts counts closed-loop window slots reissued after the
-	// response deadline; Late counts responses that arrived after
-	// their slot timed out (recorded in neither latency nor goodput).
+	// Timeouts counts attempts that hit the response deadline (in
+	// legacy mode, window slots reissued); Late counts responses that
+	// arrived after their attempt timed out or after another attempt
+	// already answered the request (recorded in neither latency nor
+	// goodput).
 	Timeouts uint64
 	Late     uint64
+	// Retries counts backoff retransmissions, Hedges speculative
+	// duplicates, and Failed requests abandoned after the retry budget
+	// was spent (all zero with Retry unset).
+	Retries uint64
+	Hedges  uint64
+	Failed  uint64
 	// GoodputBps is response payload bits per second of wall time from
 	// first request sent to last response received.
 	GoodputBps float64
@@ -102,17 +173,44 @@ type Client struct {
 	// rescheduling allocates nothing.
 	sendPacedFn sim.Event
 
-	inflight map[uint64]sim.Time // seq → send time
+	// inflight maps wire sequence numbers to their attempt. With Retry
+	// unset there is exactly one attempt per request and the wire seq
+	// IS the request id; with Retry set every attempt (original,
+	// retry, hedge) gets a fresh wire seq from nextSeq, so responses
+	// match the exact attempt that elicited them.
+	inflight map[uint64]attempt
+	// reqs tracks open (unanswered, unabandoned) requests in retry
+	// mode; nil in legacy mode.
+	reqs    map[uint64]reqState
+	rng     *rand.Rand // backoff jitter; nil in legacy mode
+	nextSeq uint64
+
 	issued   uint64
 	resp     uint64
 	timeouts uint64
 	late     uint64
+	retries  uint64
+	hedges   uint64
+	failed   uint64
 	rxBytes  uint64
 
 	firstSend sim.Time
 	lastResp  sim.Time
 	sentAny   bool
 	started   bool
+}
+
+// attempt is one wire transmission awaiting a response or timeout.
+type attempt struct {
+	req  uint64 // owning request id
+	sent sim.Time
+}
+
+// reqState tracks one open request in retry mode.
+type reqState struct {
+	live    int32 // attempts currently in flight
+	retries int32 // backoff retransmissions issued so far
+	hedged  bool  // the speculative duplicate was issued
 }
 
 // NewClient builds a client sending requests into up. The flow
@@ -151,13 +249,33 @@ func NewClient(cfg ClientConfig, up *Link) *Client {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultTimeout
 	}
-	return &Client{
+	if cfg.Retry != nil {
+		if err := cfg.Retry.Validate(); err != nil {
+			panic(fmt.Sprintf("net: client retry: %v", err))
+		}
+		// Resolve defaults on a copy so the caller's struct (possibly
+		// shared across clients) is untouched.
+		r := *cfg.Retry
+		if r.Backoff <= 0 {
+			r.Backoff = cfg.Timeout
+		}
+		if r.MaxBackoff <= 0 {
+			r.MaxBackoff = 8 * r.Backoff
+		}
+		cfg.Retry = &r
+	}
+	c := &Client{
 		cfg:      cfg,
 		up:       up,
 		tmpl:     tmpl,
 		hist:     stats.NewHistogram(5),
-		inflight: make(map[uint64]sim.Time),
+		inflight: make(map[uint64]attempt),
 	}
+	if cfg.Retry != nil {
+		c.reqs = make(map[uint64]reqState)
+		c.rng = rand.New(rand.NewSource(cfg.Retry.Seed))
+	}
+	return c
 }
 
 // Flow returns the client's request flow template.
@@ -215,53 +333,163 @@ func (c *Client) sendPaced(s *sim.Simulator) {
 	}
 }
 
-// send issues one request at the current time and arms its timeout.
-// The request frame is a recycled pool packet stamped from the flow
-// template, so steady-state issue allocates nothing.
+// send issues one new request (consuming request budget) and its first
+// attempt. The request frame is a recycled pool packet stamped from
+// the flow template, so steady-state issue allocates nothing.
 func (c *Client) send(s *sim.Simulator) {
-	seq := c.issued
+	req := c.issued
 	c.issued++
+	if c.reqs != nil {
+		c.reqs[req] = reqState{}
+		if c.cfg.Retry.Hedge > 0 {
+			s.AfterArg(c.cfg.Retry.Hedge, clientHedgeEv, sim.Arg{Obj: c, U0: req})
+		}
+	}
+	c.sendAttempt(s, req)
+}
+
+// sendAttempt puts one attempt for req on the wire and arms its
+// timeout. In legacy mode the wire sequence number is the request id;
+// in retry mode every attempt draws a fresh one so responses are
+// matched to the exact transmission that elicited them.
+func (c *Client) sendAttempt(s *sim.Simulator, req uint64) {
+	w := req
+	if c.reqs != nil {
+		w = c.nextSeq
+		c.nextSeq++
+		st := c.reqs[req]
+		st.live++
+		c.reqs[req] = st
+	}
 	p := c.pool.Get(c.tmpl.FrameLen())
-	c.tmpl.Stamp(p, seq)
+	c.tmpl.Stamp(p, w)
 	now := s.Now()
 	if !c.sentAny {
 		c.sentAny = true
 		c.firstSend = now
 	}
-	c.inflight[seq] = now
-	s.AfterArg(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: seq})
+	c.inflight[w] = attempt{req: req, sent: now}
+	s.AfterArg(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: w})
 	c.up.Receive(s, p)
 }
 
-// clientTimeoutEv fires at a request's response deadline: if the
-// response is still missing, the window slot is released (and, in
-// closed mode, reissued) so fabric losses cannot stall the loop.
-// Arg.Obj is the *Client, U0 the request sequence number.
+// backoff returns the jittered delay before retry n (n >= 1):
+// exponential from Retry.Backoff, capped at Retry.MaxBackoff, scaled
+// by a deterministic factor from [1-JitterFrac, 1+JitterFrac).
+func (c *Client) backoff(n int) sim.Duration {
+	r := c.cfg.Retry
+	d := r.Backoff
+	for i := 1; i < n && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	if r.JitterFrac > 0 {
+		d = sim.Duration(float64(d) * (1 - r.JitterFrac + 2*r.JitterFrac*c.rng.Float64()))
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// clientTimeoutEv fires at an attempt's response deadline. Legacy
+// mode: the window slot is released (and, in closed mode, reissued) so
+// fabric losses cannot stall the loop. Retry mode: when no sibling
+// attempt is still in flight, either a backoff retransmission is
+// scheduled or — budget spent — the request is abandoned as Failed.
+// Arg.Obj is the *Client, U0 the wire sequence number.
 func clientTimeoutEv(sm *sim.Simulator, a sim.Arg) {
 	c := a.Obj.(*Client)
-	seq := a.U0
-	if _, ok := c.inflight[seq]; !ok {
+	w := a.U0
+	att, ok := c.inflight[w]
+	if !ok {
 		return // answered in time
 	}
-	delete(c.inflight, seq)
+	delete(c.inflight, w)
 	c.timeouts++
+	if c.reqs == nil {
+		if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
+			c.send(sm)
+		}
+		return
+	}
+	st, open := c.reqs[att.req]
+	if !open {
+		return // a sibling attempt already answered this request
+	}
+	st.live--
+	if st.live > 0 {
+		c.reqs[att.req] = st
+		return // the hedge (or another retry) is still in flight
+	}
+	if int(st.retries) < c.cfg.Retry.MaxRetries {
+		st.retries++
+		c.reqs[att.req] = st
+		c.retries++
+		sm.AfterArg(c.backoff(int(st.retries)), clientRetryEv, sim.Arg{Obj: c, U0: att.req})
+		return
+	}
+	delete(c.reqs, att.req)
+	c.failed++
 	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
 		c.send(sm)
 	}
 }
 
+// clientRetryEv fires when a request's backoff expires and puts the
+// retransmission on the wire. Arg.Obj is the *Client, U0 the request
+// id.
+func clientRetryEv(sm *sim.Simulator, a sim.Arg) {
+	c := a.Obj.(*Client)
+	req := a.U0
+	if _, open := c.reqs[req]; !open {
+		return // answered while the backoff was pending
+	}
+	c.sendAttempt(sm, req)
+}
+
+// clientHedgeEv fires Retry.Hedge after a request was issued: if the
+// request is still open, has not hit its timeout (no retries yet), and
+// has exactly its original attempt in flight, one speculative
+// duplicate goes out. The first response wins; the loser counts as
+// Late. Arg.Obj is the *Client, U0 the request id.
+func clientHedgeEv(sm *sim.Simulator, a sim.Arg) {
+	c := a.Obj.(*Client)
+	req := a.U0
+	st, open := c.reqs[req]
+	if !open || st.hedged || st.retries > 0 || st.live == 0 {
+		return
+	}
+	st.hedged = true
+	c.reqs[req] = st
+	c.hedges++
+	c.sendAttempt(sm, req)
+}
+
 // Receive consumes one response from the fabric (implements
 // Endpoint). Responses are matched to requests by sequence number.
 func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
-	sent, ok := c.inflight[p.Seq]
+	att, ok := c.inflight[p.Seq]
 	if !ok {
 		c.late++ // timed out (or duplicate): not counted as goodput
 		p.Release()
 		return
 	}
 	delete(c.inflight, p.Seq)
+	if c.reqs != nil {
+		if _, open := c.reqs[att.req]; !open {
+			// A sibling attempt (hedge or retry) already answered this
+			// request: the slower copy is late by definition.
+			c.late++
+			p.Release()
+			return
+		}
+		delete(c.reqs, att.req)
+	}
 	now := s.Now()
-	lat := now.Sub(sent)
+	lat := now.Sub(att.sent)
 	c.hist.Record(lat)
 	if c.cfg.Hist != nil {
 		c.cfg.Hist.Record(lat)
@@ -276,9 +504,10 @@ func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
 }
 
 // Done reports whether the client has issued its full budget and has
-// no request awaiting a response or timeout — the fabric idle check.
+// no request awaiting a response, retry, or timeout — the fabric idle
+// check.
 func (c *Client) Done() bool {
-	return c.issued >= c.cfg.Requests && len(c.inflight) == 0
+	return c.issued >= c.cfg.Requests && len(c.inflight) == 0 && len(c.reqs) == 0
 }
 
 // Issued returns requests sent so far.
@@ -306,6 +535,9 @@ func (c *Client) Stats() ClientStats {
 		Responses: c.resp,
 		Timeouts:  c.timeouts,
 		Late:      c.late,
+		Retries:   c.retries,
+		Hedges:    c.hedges,
+		Failed:    c.failed,
 	}
 	if c.hist.Count() > 0 {
 		st.P50 = c.hist.Quantile(0.50)
@@ -339,6 +571,11 @@ func (c *Client) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+"responses", func() uint64 { return c.resp })
 	reg.CounterFunc(prefix+"timeouts", func() uint64 { return c.timeouts })
 	reg.CounterFunc(prefix+"late", func() uint64 { return c.late })
+	if c.cfg.Retry != nil {
+		reg.CounterFunc(prefix+"retries", func() uint64 { return c.retries })
+		reg.CounterFunc(prefix+"hedges", func() uint64 { return c.hedges })
+		reg.CounterFunc(prefix+"failed", func() uint64 { return c.failed })
+	}
 	reg.GaugeFunc(prefix+"goodput_gbps", func() float64 {
 		return goodputBps(c.rxBytes, c.firstSend, c.lastResp) / 1e9
 	})

@@ -18,6 +18,7 @@ package net
 
 import (
 	"fmt"
+	"math"
 
 	"idio/internal/obs"
 	"idio/internal/pkt"
@@ -43,15 +44,30 @@ type LinkConfig struct {
 	// QueueDepth bounds the egress queue in packets; arrivals beyond
 	// it are tail-dropped. 0 means DefaultQueueDepth.
 	QueueDepth int
+	// AQMTarget, when > 0, enables a CoDel-style active queue manager
+	// next to tail-drop: once the queueing delay a packet would see has
+	// stayed above AQMTarget for a full AQMInterval, arrivals are
+	// dropped at an increasing rate (interval/sqrt(count)) until the
+	// delay falls back under target — shedding load early instead of
+	// building standing latency. 0 keeps pure tail-drop.
+	AQMTarget sim.Duration
+	// AQMInterval is the CoDel observation interval; 0 means
+	// DefaultAQMInterval.
+	AQMInterval sim.Duration
 }
 
 // DefaultQueueDepth is the egress queue bound used when a LinkConfig
 // leaves QueueDepth zero.
 const DefaultQueueDepth = 256
 
+// DefaultAQMInterval is the CoDel observation interval used when a
+// LinkConfig enables AQM but leaves AQMInterval zero (the classic
+// 100ms RTT-scale default is far too long for a rack fabric).
+const DefaultAQMInterval = 100 * sim.Microsecond
+
 // LinkStats counts one link's traffic. Conservation invariant after
 // the fabric drains: TxPackets = Delivered, and every offered packet
-// is exactly one of {TxPackets, TailDrops, DownDrops}.
+// is exactly one of {TxPackets, TailDrops, DownDrops, AQMDrops}.
 type LinkStats struct {
 	// TxPackets/TxBytes count packets accepted into the egress queue
 	// (and therefore eventually serialized).
@@ -64,6 +80,9 @@ type LinkStats struct {
 	TailDrops uint64
 	// DownDrops counts arrivals lost while the link was down (flaps).
 	DownDrops uint64
+	// AQMDrops counts arrivals shed by the CoDel controller (0 with
+	// AQM disabled).
+	AQMDrops uint64
 	// QueueHighWater is the deepest the egress queue ever got.
 	QueueHighWater int
 	// BusyTime accumulates serialization time (utilization = BusyTime
@@ -90,6 +109,15 @@ type Link struct {
 	// serializing); inflight additionally counts packets propagating.
 	qlen     int
 	inflight int
+
+	// CoDel controller state (AQMTarget > 0): firstAbove is when the
+	// delay excursion will have persisted a full interval, dropNext the
+	// next scheduled drop while in dropping state, count the drops in
+	// the current dropping episode.
+	aqmFirstAbove sim.Time
+	aqmDropNext   sim.Time
+	aqmCount      int
+	aqmDropping   bool
 
 	stats LinkStats
 	obs   *obs.Observer
@@ -119,6 +147,12 @@ func NewLink(cfg LinkConfig, dst Endpoint) *Link {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.AQMTarget < 0 || cfg.AQMInterval < 0 {
+		panic(fmt.Sprintf("net: link %q AQM target/interval must be >= 0", cfg.Name))
+	}
+	if cfg.AQMTarget > 0 && cfg.AQMInterval == 0 {
+		cfg.AQMInterval = DefaultAQMInterval
 	}
 	return &Link{cfg: cfg, dst: dst, rateBps: cfg.RateBps, factor: 1}
 }
@@ -188,6 +222,19 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 		p.Release()
 		return
 	}
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	// The queueing delay this packet would see is known at enqueue
+	// time (FIFO serializer), so CoDel runs on it directly instead of
+	// waiting for dequeue.
+	if l.cfg.AQMTarget > 0 && l.aqmDrop(now, start.Sub(now)) {
+		l.stats.AQMDrops++
+		l.traceDrop(s, p, "aqm")
+		p.Release()
+		return
+	}
 	l.qlen++
 	if l.qlen > l.stats.QueueHighWater {
 		l.stats.QueueHighWater = l.qlen
@@ -196,10 +243,6 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 	l.stats.TxPackets++
 	l.stats.TxBytes += uint64(p.Len())
 
-	start := now
-	if l.busyUntil > start {
-		start = l.busyUntil
-	}
 	tx := l.txTime(p.Len())
 	end := start.Add(tx)
 	l.busyUntil = end
@@ -209,6 +252,49 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 	s.AtArgNamed(end, "link-tx", linkTxEv, sim.Arg{Obj: l})
 	s.AtArgNamed(deliverAt, "link-deliver", linkDeliverEv,
 		sim.Arg{Obj: l, Obj2: p, U0: uint64(now)})
+}
+
+// aqmDrop runs the CoDel control law on one arrival: sojourn is the
+// queueing delay the packet would experience. It returns true when the
+// packet should be shed. Below target the controller resets; above it,
+// the first full AQMInterval of sustained excursion arms dropping,
+// after which drops come every interval/sqrt(count) — with count
+// carried over (minus 2) when a new episode starts soon after the
+// last, so repeated overload ramps the drop rate quickly.
+func (l *Link) aqmDrop(now sim.Time, sojourn sim.Duration) bool {
+	if sojourn < l.cfg.AQMTarget {
+		l.aqmFirstAbove = 0
+		l.aqmDropping = false
+		return false
+	}
+	if l.aqmFirstAbove == 0 {
+		l.aqmFirstAbove = now.Add(l.cfg.AQMInterval)
+		return false
+	}
+	if now < l.aqmFirstAbove {
+		return false
+	}
+	if !l.aqmDropping {
+		l.aqmDropping = true
+		if l.aqmCount > 2 && now.Sub(l.aqmDropNext) < 8*l.cfg.AQMInterval {
+			l.aqmCount -= 2
+		} else {
+			l.aqmCount = 1
+		}
+		l.aqmDropNext = now.Add(l.aqmControlLaw())
+		return true
+	}
+	if now >= l.aqmDropNext {
+		l.aqmCount++
+		l.aqmDropNext = l.aqmDropNext.Add(l.aqmControlLaw())
+		return true
+	}
+	return false
+}
+
+// aqmControlLaw returns the current inter-drop spacing.
+func (l *Link) aqmControlLaw() sim.Duration {
+	return sim.Duration(float64(l.cfg.AQMInterval) / math.Sqrt(float64(l.aqmCount)))
 }
 
 // linkTxEv finishes one packet's serialization: Arg.Obj is the *Link.
@@ -249,6 +335,9 @@ func (l *Link) RegisterMetrics(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+"rx_bytes", func() uint64 { return l.stats.DeliveredBytes })
 	reg.CounterFunc(prefix+"tail_drops", func() uint64 { return l.stats.TailDrops })
 	reg.CounterFunc(prefix+"down_drops", func() uint64 { return l.stats.DownDrops })
+	if l.cfg.AQMTarget > 0 {
+		reg.CounterFunc(prefix+"aqm_drops", func() uint64 { return l.stats.AQMDrops })
+	}
 	reg.GaugeFunc(prefix+"queue_hwm", func() float64 { return float64(l.stats.QueueHighWater) })
 	reg.GaugeFunc(prefix+"busy_us", func() float64 { return l.stats.BusyTime.Microseconds() })
 }

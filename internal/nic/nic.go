@@ -34,6 +34,12 @@ type Config struct {
 	// descriptor becoming visible to the polling driver. Sec. VII
 	// observes ~1.9 µs between first DMA and execution start.
 	DescWBDelay sim.Duration
+	// AdmissionWatermark, when > 0, enables host admission control:
+	// a packet steered to a ring whose occupancy has reached the
+	// watermark is shed (AdmissionDrops) before consuming a descriptor,
+	// modeling graceful load-shedding when the service path is
+	// saturated. 0 admits until the ring itself is full.
+	AdmissionWatermark int
 }
 
 // DefaultConfig follows Table I and Sec. VI.
@@ -63,6 +69,9 @@ type Stats struct {
 	// MisSteers counts packets the flow director steered to a
 	// non-existent queue; they are dropped instead of crashing.
 	MisSteers uint64
+	// AdmissionDrops counts packets shed by the admission-control
+	// watermark before reaching the ring (0 with the watermark unset).
+	AdmissionDrops uint64
 	// InvariantViolations counts internal errors (e.g. metadata that
 	// failed to encode) handled by dropping the affected DMA instead of
 	// panicking. Non-zero values indicate a bug or an injected fault
@@ -315,6 +324,12 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 		return
 	}
 	ring := n.rings[coreID]
+	if n.cfg.AdmissionWatermark > 0 && ring.Occupancy() >= n.cfg.AdmissionWatermark {
+		n.stats.AdmissionDrops++
+		n.traceDrop(s, p, coreID, "admission")
+		p.Release()
+		return
+	}
 	slot := ring.Produce(p)
 	if slot == nil {
 		n.traceDrop(s, p, coreID, "ring-full")

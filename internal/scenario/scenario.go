@@ -30,6 +30,7 @@ import (
 	"idio/internal/apps"
 	idiocore "idio/internal/core"
 	"idio/internal/cpu"
+	"idio/internal/fault"
 	fnet "idio/internal/net"
 	"idio/internal/obs"
 	"idio/internal/sim"
@@ -72,15 +73,22 @@ type TopoLink struct {
 	DelayUS float64 `json:"delayUS,omitempty"`
 	// Queue bounds the egress queue in packets (0 = default 256).
 	Queue int `json:"queue,omitempty"`
+	// AQMTargetUS > 0 enables the CoDel-style queue manager on links
+	// of this class (sojourn target, microseconds); AQMIntervalUS is
+	// its observation interval (0 = 100us default).
+	AQMTargetUS   float64 `json:"aqmTargetUS,omitempty"`
+	AQMIntervalUS float64 `json:"aqmIntervalUS,omitempty"`
 }
 
 // LinkConfig converts to the fabric's link template (Name assigned
 // per slot by the cluster).
 func (l TopoLink) LinkConfig() fnet.LinkConfig {
 	return fnet.LinkConfig{
-		RateBps:    traffic.Gbps(l.Gbps),
-		Delay:      sim.Duration(l.DelayUS * float64(sim.Microsecond)),
-		QueueDepth: l.Queue,
+		RateBps:     traffic.Gbps(l.Gbps),
+		Delay:       sim.Duration(l.DelayUS * float64(sim.Microsecond)),
+		QueueDepth:  l.Queue,
+		AQMTarget:   sim.Duration(l.AQMTargetUS * float64(sim.Microsecond)),
+		AQMInterval: sim.Duration(l.AQMIntervalUS * float64(sim.Microsecond)),
 	}
 }
 
@@ -102,6 +110,32 @@ type RPCSpec struct {
 	FrameLen int    `json:"frameLen,omitempty"`
 	// TimeoutUS bounds the per-request response wait (0 = 1000).
 	TimeoutUS float64 `json:"timeoutUS,omitempty"`
+	// Retry enables exponential-backoff retransmission (and optional
+	// hedging) on every client; omitted keeps the legacy blind reissue.
+	Retry *RetrySpec `json:"retry,omitempty"`
+}
+
+// RetrySpec is the JSON form of fnet.RetryConfig. Client i derives its
+// jitter stream from Seed+i so concurrent clients do not phase-lock.
+type RetrySpec struct {
+	MaxRetries   int     `json:"maxRetries"`
+	BackoffUS    float64 `json:"backoffUS,omitempty"`
+	MaxBackoffUS float64 `json:"maxBackoffUS,omitempty"`
+	JitterFrac   float64 `json:"jitterFrac,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	HedgeUS      float64 `json:"hedgeUS,omitempty"`
+}
+
+// config converts to the client-level retry config for client i.
+func (r *RetrySpec) config(i int) *fnet.RetryConfig {
+	return &fnet.RetryConfig{
+		MaxRetries: r.MaxRetries,
+		Backoff:    sim.Duration(r.BackoffUS * float64(sim.Microsecond)),
+		MaxBackoff: sim.Duration(r.MaxBackoffUS * float64(sim.Microsecond)),
+		JitterFrac: r.JitterFrac,
+		Seed:       r.Seed + int64(i),
+		Hedge:      sim.Duration(r.HedgeUS * float64(sim.Microsecond)),
+	}
 }
 
 // Topology switches the scenario from a single host to a multi-host
@@ -139,6 +173,50 @@ type Scenario struct {
 	NFs        []NF        `json:"nfs"`
 	Antagonist *Antagonist `json:"antagonist,omitempty"`
 	Topology   *Topology   `json:"topology,omitempty"`
+
+	// Chaos schedules deterministic fault phases (fault.Phase) across
+	// the run. Fabric-layer phases need a topology section: Target
+	// indexes the fabric links in attach order (0 = server downlink,
+	// 1 = server uplink, 2..N+1 = client uplinks, then client
+	// downlinks).
+	Chaos []ChaosPhase `json:"chaos,omitempty"`
+	// AdmissionWatermark > 0 enables DUT admission control: packets
+	// steered to an RX ring at or above this occupancy are shed.
+	AdmissionWatermark int `json:"admissionWatermark,omitempty"`
+}
+
+// ChaosPhase is the JSON form of one scheduled fault phase.
+type ChaosPhase struct {
+	Layer string `json:"layer"` // fabric | nic | dram | core
+	Kind  string `json:"kind"`  // down | degrade | dma-stall | spike | stall
+	// StartMS / DurationMS bound the phase in milliseconds of sim time.
+	StartMS    float64 `json:"startMS"`
+	DurationMS float64 `json:"durationMS"`
+	// Magnitude is kind-specific: fabric/degrade rate factor in (0,1),
+	// dram/spike extra latency in nanoseconds; unused otherwise.
+	Magnitude float64 `json:"magnitude,omitempty"`
+	// Target selects the victim by attach order (link index, NIC port,
+	// or core).
+	Target int `json:"target,omitempty"`
+}
+
+// chaosTimeline converts the chaos section to fault phases.
+func (sc Scenario) chaosTimeline() []fault.Phase {
+	if len(sc.Chaos) == 0 {
+		return nil
+	}
+	tl := make([]fault.Phase, len(sc.Chaos))
+	for i, p := range sc.Chaos {
+		tl[i] = fault.Phase{
+			Layer:     p.Layer,
+			Kind:      p.Kind,
+			Start:     sim.Time(p.StartMS * float64(sim.Millisecond)),
+			Duration:  sim.Duration(p.DurationMS * float64(sim.Millisecond)),
+			Magnitude: p.Magnitude,
+			Target:    p.Target,
+		}
+	}
+	return tl
 }
 
 // Save writes the scenario as indented JSON (the inverse of Load).
@@ -241,6 +319,35 @@ func (sc Scenario) Validate() error {
 				}
 			default:
 				return fmt.Errorf("scenario %q: unknown rpc mode %q", sc.Name, rpc.Mode)
+			}
+			if rpc.Retry != nil {
+				if err := rpc.Retry.config(0).Validate(); err != nil {
+					return fmt.Errorf("scenario %q: rpc retry: %w", sc.Name, err)
+				}
+			}
+		}
+		if t.ClientLink.AQMTargetUS < 0 || t.ServerLink.AQMTargetUS < 0 ||
+			t.ClientLink.AQMIntervalUS < 0 || t.ServerLink.AQMIntervalUS < 0 {
+			return fmt.Errorf("scenario %q: link AQM target/interval must be >= 0", sc.Name)
+		}
+	}
+	if sc.AdmissionWatermark < 0 {
+		return fmt.Errorf("scenario %q: admissionWatermark must be >= 0, got %d", sc.Name, sc.AdmissionWatermark)
+	}
+	if len(sc.Chaos) > 0 {
+		// Delegate phase-shape checks (unknown layer/kind, negative
+		// start, non-positive duration, overlapping same-target phases,
+		// magnitude ranges) to the fault layer, which owns the rules.
+		fc := fault.Config{Timeline: sc.chaosTimeline()}
+		if err := fc.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: chaos: %w", sc.Name, err)
+		}
+		for i, p := range sc.Chaos {
+			if p.Layer == "fabric" && sc.Topology == nil {
+				return fmt.Errorf("scenario %q: chaos[%d] targets the fabric but no topology is declared", sc.Name, i)
+			}
+			if p.Layer == "core" && p.Target >= sc.Cores {
+				return fmt.Errorf("scenario %q: chaos[%d] core target %d out of range", sc.Name, i, p.Target)
 			}
 		}
 	}
@@ -367,6 +474,12 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		sizes := make([]int, sc.Cores)
 		sizes[sc.Antagonist.Core] = sc.Antagonist.MLCKB << 10
 		cfg.Hier.MLCSizePerCore = sizes
+	}
+	if sc.AdmissionWatermark > 0 {
+		cfg.NIC.AdmissionWatermark = sc.AdmissionWatermark
+	}
+	if tl := sc.chaosTimeline(); tl != nil {
+		cfg.Faults = &fault.Config{Timeline: tl}
 	}
 	cfg.Obs.TraceSampleN = opts.TraceSampleN
 	cfg.Obs.MetricsInterval = opts.MetricsInterval
@@ -496,6 +609,9 @@ func installRPCClients(cl *idio.Cluster, topo *Topology, nfCores []int) error {
 			Outstanding: rpc.Outstanding,
 			Requests:    rpc.Requests,
 			Timeout:     sim.Duration(rpc.TimeoutUS * float64(sim.Microsecond)),
+		}
+		if rpc.Retry != nil {
+			ccfg.Retry = rpc.Retry.config(i)
 		}
 		ccfg.Flow = cl.ClientFlow(i, core)
 		if rpc.FrameLen > 0 {

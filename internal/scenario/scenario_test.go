@@ -322,3 +322,163 @@ func TestShippedRPCScenarioRuns(t *testing.T) {
 		t.Fatalf("shipped scenario responses: got %+v, want %d", res.RPC, want)
 	}
 }
+
+// chaosJSON is the resilience kitchen sink: AQM on every hop, retrying
+// clients, DUT admission control, and a two-phase fault timeline.
+const chaosJSON = `{
+  "name": "chaos",
+  "policy": "IDIO",
+  "cores": 2,
+  "ringSize": 256,
+  "mlcSizeKB": 256,
+  "llcSizeKB": 768,
+  "horizonMS": 20,
+  "admissionWatermark": 32,
+  "nfs": [
+    {"core": 0, "app": "L2Fwd", "traffic": {}},
+    {"core": 1, "app": "L2Fwd", "traffic": {}}
+  ],
+  "topology": {
+    "clients": 2,
+    "clientLink": {"gbps": 100, "delayUS": 2, "aqmTargetUS": 20},
+    "serverLink": {"gbps": 100, "delayUS": 2, "aqmTargetUS": 20},
+    "rpc": {"mode": "closed", "outstanding": 8, "requests": 4096, "timeoutUS": 200,
+            "retry": {"maxRetries": 2, "backoffUS": 50, "jitterFrac": 0.25, "seed": 7}}
+  },
+  "chaos": [
+    {"layer": "fabric", "kind": "degrade", "startMS": 1, "durationMS": 0.5, "magnitude": 0.1, "target": 0},
+    {"layer": "core", "kind": "stall", "startMS": 2, "durationMS": 0.3, "target": 1}
+  ]
+}`
+
+// TestChaosScenarioRuns: the chaos sections load, the run completes
+// its full budget despite the injected phases (retries recover the
+// losses), and the timeline is accounted.
+func TestChaosScenarioRuns(t *testing.T) {
+	sc, err := Load(strings.NewReader(chaosJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Chaos) != 2 || sc.AdmissionWatermark != 32 || sc.Topology.RPC.Retry == nil {
+		t.Fatalf("chaos sections lost in parse: %+v", sc)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TimelinePhases != 2 {
+		t.Fatalf("timeline phases not applied: %+v", res.Faults)
+	}
+	if res.RPC == nil || res.RPC.Issued != 2*4096 {
+		t.Fatalf("rpc budget incomplete: %+v", res.RPC)
+	}
+	// Retrying clients recover everything the faults cost.
+	if got := res.RPC.Responses + res.RPC.Failed; got != 2*4096 {
+		t.Fatalf("responses %d + failed %d != issued %d", res.RPC.Responses, res.RPC.Failed, res.RPC.Issued)
+	}
+}
+
+// TestChaosScenarioRoundTrip: Save/Load preserves the resilience
+// sections bit-for-bit.
+func TestChaosScenarioRoundTrip(t *testing.T) {
+	sc, err := Load(strings.NewReader(chaosJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := sc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-load: %v\n%s", err, buf.String())
+	}
+	if len(back.Chaos) != len(sc.Chaos) || back.Chaos[0] != sc.Chaos[0] ||
+		back.AdmissionWatermark != sc.AdmissionWatermark ||
+		*back.Topology.RPC.Retry != *sc.Topology.RPC.Retry {
+		t.Fatalf("round trip lost chaos sections:\n%+v\nvs\n%+v", back, sc)
+	}
+}
+
+// TestChaosValidation rejects every malformed resilience section with
+// a message naming the offender.
+func TestChaosValidation(t *testing.T) {
+	// base builds a minimal valid topology scenario with the given
+	// extra top-level JSON spliced in.
+	base := func(extra string) string {
+		return `{"name":"x","cores":1,"horizonMS":1,` + extra +
+			`"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],` +
+			`"topology":{"clients":1,"clientLink":{"gbps":100},"serverLink":{"gbps":100},` +
+			`"rpc":{"mode":"closed","outstanding":1,"requests":8`
+	}
+	cases := []struct {
+		name   string
+		doc    string
+		substr string
+	}{
+		{"negative admission watermark",
+			base(`"admissionWatermark":-1,`) + `}}}`,
+			"admissionWatermark must be >= 0"},
+		{"negative AQM target",
+			`{"name":"x","cores":1,"horizonMS":1,"nfs":[{"core":0,"app":"L2Fwd","traffic":{}}],"topology":{"clients":1,"clientLink":{"gbps":100,"aqmTargetUS":-1},"serverLink":{"gbps":100},"rpc":{"mode":"closed","outstanding":1,"requests":8}}}`,
+			"AQM target/interval"},
+		{"bad retry",
+			base(``) + `,"retry":{"maxRetries":-1}}}}`,
+			"rpc retry"},
+		{"retry jitter out of range",
+			base(``) + `,"retry":{"maxRetries":1,"jitterFrac":1.5}}}}`,
+			"JitterFrac"},
+		{"chaos unknown kind",
+			base(`"chaos":[{"layer":"fabric","kind":"melt","startMS":1,"durationMS":1}],`) + `}}}`,
+			"unknown layer/kind"},
+		{"chaos negative duration",
+			base(`"chaos":[{"layer":"nic","kind":"dma-stall","startMS":1,"durationMS":-1}],`) + `}}}`,
+			"must be positive"},
+		{"chaos overlap same target",
+			base(`"chaos":[{"layer":"fabric","kind":"down","startMS":1,"durationMS":2},{"layer":"fabric","kind":"down","startMS":2,"durationMS":2}],`) + `}}}`,
+			"overlaps"},
+		{"chaos core target out of range",
+			base(`"chaos":[{"layer":"core","kind":"stall","startMS":1,"durationMS":1,"target":5}],`) + `}}}`,
+			"core target 5 out of range"},
+		{"chaos fabric needs topology",
+			`{"name":"x","cores":1,"horizonMS":1,"chaos":[{"layer":"fabric","kind":"down","startMS":1,"durationMS":1}],"nfs":[{"core":0,"app":"TouchDrop","traffic":{"kind":"steady","gbps":1,"count":1}}]}`,
+			"no topology"},
+	}
+	for _, tc := range cases {
+		_, err := Load(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.substr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.substr)
+		}
+	}
+}
+
+// TestShippedChaosScenarioRuns: the shipped chaos_recovery.json is
+// valid and drives a run whose timeline fully applies.
+func TestShippedChaosScenarioRuns(t *testing.T) {
+	f, err := os.Open("../../scenarios/chaos_recovery.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Chaos) != 4 || sc.Topology == nil || sc.Topology.RPC.Retry == nil {
+		t.Fatalf("shipped chaos scenario parsed as %+v", sc)
+	}
+	res, _, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.TimelinePhases != 4 {
+		t.Fatalf("shipped timeline applied %v phases, want 4", res.Faults)
+	}
+	if res.RPC == nil || res.RPC.Responses == 0 || res.RPC.Retries == 0 {
+		t.Fatalf("shipped chaos run degenerate: %+v", res.RPC)
+	}
+}

@@ -72,6 +72,22 @@ func (h *Histogram) Record(v sim.Duration) {
 	}
 }
 
+// Reset clears every recorded sample while keeping the allocated
+// bucket storage, so windowed collectors (per-phase percentiles in
+// chaos runs) can reuse one histogram without per-window allocation.
+func (h *Histogram) Reset() {
+	for mag := range h.counts {
+		row := h.counts[mag]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	h.total = 0
+	h.min = -1
+	h.max = 0
+	h.sum = 0
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -37,6 +37,12 @@ type RPCResults struct {
 	Responses uint64
 	Timeouts  uint64
 	Late      uint64
+	// Retries/Hedges/Failed mirror net.ClientStats: backoff
+	// retransmissions, speculative duplicates, and requests abandoned
+	// after the retry budget (all zero with retry discipline unset).
+	Retries uint64
+	Hedges  uint64
+	Failed  uint64
 	// GoodputBps is aggregate response bits per second from the first
 	// request sent to the last response received across clients.
 	GoodputBps float64
@@ -162,6 +168,7 @@ func (s *System) Collect() Results {
 		r.NIC.PoolDrops += ps.PoolDrops
 		r.NIC.LinkDownDrops += ps.LinkDownDrops
 		r.NIC.MisSteers += ps.MisSteers
+		r.NIC.AdmissionDrops += ps.AdmissionDrops
 		r.NIC.InvariantViolations += ps.InvariantViolations
 	}
 	if s.IOMMU != nil {
@@ -354,6 +361,14 @@ func (r Results) WriteStats(w io.Writer) error {
 		{"exe_time_us", r.ExeTime.Microseconds()},
 		{"sim.aborted", boolToInt(r.Aborted != nil)},
 	}
+	// Admission-control sheds appear only when the watermark actually
+	// fired, keeping the historical key set for unconfigured runs.
+	if r.NIC.AdmissionDrops > 0 {
+		kv = append(kv, struct {
+			k string
+			v interface{}
+		}{"nic.admission_drops", r.NIC.AdmissionDrops})
+	}
 	// Pool-leak visibility, following the fault-keys pattern: a healthy
 	// drained run has zero outstanding pooled packets and the keys stay
 	// absent (legacy outputs unchanged); a leak surfaces the full
@@ -396,6 +411,12 @@ func (r Results) WriteStats(w io.Writer) error {
 				{"fault.fabric_degrades", r.Faults.FabricDegrades},
 			}...)
 		}
+		if r.Faults.TimelinePhases > 0 {
+			kv = append(kv, struct {
+				k string
+				v interface{}
+			}{"fault.timeline_phases", r.Faults.TimelinePhases})
+		}
 	}
 	if f := r.Fabric; f != nil {
 		for _, l := range f.Links {
@@ -409,6 +430,14 @@ func (r Results) WriteStats(w io.Writer) error {
 				{"fabric." + l.Name + ".down_drops", l.Stats.DownDrops},
 				{"fabric." + l.Name + ".queue_hwm", l.Stats.QueueHighWater},
 			}...)
+			// AQM sheds only when the controller actually dropped, so
+			// tail-drop-only fabrics keep their historical key set.
+			if l.Stats.AQMDrops > 0 {
+				kv = append(kv, struct {
+					k string
+					v interface{}
+				}{"fabric." + l.Name + ".aqm_drops", l.Stats.AQMDrops})
+			}
 		}
 		kv = append(kv, []struct {
 			k string
@@ -428,6 +457,21 @@ func (r Results) WriteStats(w io.Writer) error {
 			{"rpc.responses", rpc.Responses},
 			{"rpc.timeouts", rpc.Timeouts},
 			{"rpc.late", rpc.Late},
+		}...)
+		if rpc.Retries+rpc.Hedges+rpc.Failed > 0 {
+			kv = append(kv, []struct {
+				k string
+				v interface{}
+			}{
+				{"rpc.retries", rpc.Retries},
+				{"rpc.hedges", rpc.Hedges},
+				{"rpc.failed", rpc.Failed},
+			}...)
+		}
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
 			{"rpc.goodput_gbps", fmt.Sprintf("%.3f", rpc.GoodputBps/1e9)},
 			{"rpc.p50_us", fmt.Sprintf("%.3f", rpc.P50.Microseconds())},
 			{"rpc.p99_us", fmt.Sprintf("%.3f", rpc.P99.Microseconds())},
@@ -483,19 +527,33 @@ func (r Results) String() string {
 		fmt.Fprintf(&b, "  fabric faults: flaps=%d degrades=%d\n",
 			r.Faults.FabricFlaps, r.Faults.FabricDegrades)
 	}
+	if r.Faults.TimelinePhases > 0 {
+		fmt.Fprintf(&b, "  chaos timeline: phases=%d\n", r.Faults.TimelinePhases)
+	}
+	if r.NIC.AdmissionDrops > 0 {
+		fmt.Fprintf(&b, "  admission control: sheds=%d\n", r.NIC.AdmissionDrops)
+	}
 	if f := r.Fabric; f != nil {
-		var tail, down uint64
+		var tail, down, aqm uint64
 		for _, l := range f.Links {
 			tail += l.Stats.TailDrops
 			down += l.Stats.DownDrops
+			aqm += l.Stats.AQMDrops
 		}
 		fmt.Fprintf(&b, "  fabric: forwarded=%d noroute=%d tailDrops=%d downDrops=%d\n",
 			f.Switch.Forwarded, f.Switch.NoRoute, tail, down)
+		if aqm > 0 {
+			fmt.Fprintf(&b, "  fabric aqm: sheds=%d\n", aqm)
+		}
 	}
 	if rpc := r.RPC; rpc != nil {
 		fmt.Fprintf(&b, "  rpc: issued=%d resp=%d timeouts=%d late=%d goodput=%.2fGbps p50=%.2fus p99=%.2fus p999=%.2fus\n",
 			rpc.Issued, rpc.Responses, rpc.Timeouts, rpc.Late, rpc.GoodputBps/1e9,
 			rpc.P50.Microseconds(), rpc.P99.Microseconds(), rpc.P999.Microseconds())
+		if rpc.Retries+rpc.Hedges+rpc.Failed > 0 {
+			fmt.Fprintf(&b, "  rpc retry: retries=%d hedges=%d failed=%d\n",
+				rpc.Retries, rpc.Hedges, rpc.Failed)
+		}
 	}
 	if r.PktPool.Outstanding > 0 {
 		fmt.Fprintf(&b, "  pkt pool: outstanding=%d (gets=%d puts=%d allocs=%d hwm=%d)\n",

@@ -11,6 +11,7 @@ go test ./...
 go test -race ./internal/...
 GOMAXPROCS=2 go test -race ./internal/experiment
 GOMAXPROCS=2 go test -race ./internal/net
+GOMAXPROCS=2 go test -race ./internal/fault
 go test -run '^$' -bench . -benchtime=1x ./...
 # Allocation regression gate: the steady-state packet loop must stay
 # at zero heap allocations per packet (see alloc_test.go).
@@ -28,3 +29,17 @@ go run ./cmd/obscheck "$obsdir/trace.json" "$obsdir/results.json"
 go run ./cmd/idiosim -exp rpc -quick -j 2 > "$obsdir/rpc.txt"
 go run ./cmd/idiosim -exp rpc -quick -j 1 | cmp - "$obsdir/rpc.txt"
 go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json > /dev/null
+# Chaos smoke: the scripted fault timeline must run under both serial
+# and parallel cell execution with byte-identical tables, and the
+# chaos scenario's drained run must hold the pool-leak gate: a leak
+# surfaces as the "pkt pool: outstanding=" line, absent when healthy.
+go run ./cmd/idiosim -exp chaos -quick -j 2 > "$obsdir/chaos.txt"
+go run ./cmd/idiosim -exp chaos -quick -j 1 | cmp - "$obsdir/chaos.txt"
+go run ./cmd/idiosim -scenario scenarios/chaos_recovery.json > "$obsdir/chaos_scenario.txt"
+if grep -q "pkt pool: outstanding=" "$obsdir/chaos_scenario.txt"; then
+    echo "chaos scenario leaked packets" >&2
+    exit 1
+fi
+# Pool-leak gate after the chaos smokes: the lossy-fabric regression
+# test asserts PktPool.Outstanding == 0 with every resilience path hit.
+go test -run 'TestLossyFabricNoPoolLeak|TestClusterAllocsPerRequest' -count=1 .

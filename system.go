@@ -268,6 +268,15 @@ func (s *System) registerMetrics() {
 		}
 		return agg
 	})
+	if s.Cfg.NIC.AdmissionWatermark > 0 {
+		reg.CounterFunc("nic.admission_drops", func() uint64 {
+			var n uint64
+			for _, port := range s.ports {
+				n += port.Stats().AdmissionDrops
+			}
+			return n
+		})
+	}
 	// WriteStats always reports the IOMMU keys, faulted or not, so the
 	// registry mirrors that even when address validation is disabled.
 	if u := s.IOMMU; u != nil {
@@ -295,6 +304,9 @@ func (s *System) registerMetrics() {
 		reg.CounterFunc("fault.core_stalls", func() uint64 { return s.Faults.Stats().CoreStalls })
 		reg.CounterFunc("fault.fabric_flaps", func() uint64 { return s.Faults.Stats().FabricFlaps })
 		reg.CounterFunc("fault.fabric_degrades", func() uint64 { return s.Faults.Stats().FabricDegrades })
+		if len(s.Cfg.Faults.Timeline) > 0 {
+			reg.CounterFunc("fault.timeline_phases", func() uint64 { return s.Faults.Stats().TimelinePhases })
+		}
 	}
 	// Cores are installed after construction (AddNF), so the per-core
 	// closures tolerate nil slots and report zero until an app exists.

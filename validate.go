@@ -94,6 +94,12 @@ func (c Config) Validate() error {
 	if c.NIC.LineRateBps <= 0 {
 		bad("NIC.LineRateBps", "line rate must be positive, got %d", c.NIC.LineRateBps)
 	}
+	if c.NIC.AdmissionWatermark < 0 {
+		bad("NIC.AdmissionWatermark", "must be >= 0, got %d", c.NIC.AdmissionWatermark)
+	} else if c.NIC.AdmissionWatermark > c.NIC.RingSize && c.NIC.RingSize > 0 {
+		bad("NIC.AdmissionWatermark", "%d exceeds RingSize %d (watermark would never fire)",
+			c.NIC.AdmissionWatermark, c.NIC.RingSize)
+	}
 
 	if c.CPU.BatchSize <= 0 {
 		bad("CPU.BatchSize", "batch size must be positive, got %d", c.CPU.BatchSize)
