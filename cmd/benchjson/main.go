@@ -14,6 +14,16 @@
 // Lines that are not benchmark results (pkg headers, PASS/ok, test
 // logs) are ignored, so the raw `go test` stream can be piped in
 // unfiltered.
+//
+// Two side modes support the perf-regression workflow:
+//
+//	-baseline old.json   compare against a committed baseline and print
+//	                     a WARNING for every benchmark whose headline
+//	                     metric (ns/pkt when present, ns/op otherwise)
+//	                     regressed by more than 10%
+//	-history hist.jsonl  append this run's condensed results as one
+//	                     JSON line (with -label and a UTC timestamp),
+//	                     building a per-PR performance ledger
 package main
 
 import (
@@ -26,10 +36,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON: warn on >10% ns/pkt (or ns/op) regressions")
+	history := flag.String("history", "", "JSONL ledger to append this run's results to")
+	label := flag.String("label", "", "label stored with the -history entry (e.g. git commit)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -67,6 +81,78 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "[%d benchmarks written to %s]\n", len(results), *out)
 	}
+	if *baseline != "" {
+		if err := compare(results, *baseline); err != nil {
+			fatal(err)
+		}
+	}
+	if *history != "" {
+		if err := appendHistory(*history, *label, results); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// compare warns (stderr, exit 0) about benchmarks whose headline
+// latency metric regressed >10% against the baseline file. The
+// comparison is advisory by design: wall-clock benchmarks on shared
+// machines are too noisy for a hard gate, but a loud warning in the
+// pre-merge check output is hard to miss.
+func compare(results map[string]map[string]float64, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base map[string]map[string]float64
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	warned := 0
+	for _, name := range names {
+		old, ok := base[name]
+		if !ok {
+			continue
+		}
+		metric := "ns/op"
+		if _, a := old["ns/pkt"]; a {
+			if _, b := results[name]["ns/pkt"]; b {
+				metric = "ns/pkt"
+			}
+		}
+		ov, nv := old[metric], results[name][metric]
+		if ov <= 0 || nv <= ov*1.10 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: WARNING: %s %s regressed %+.1f%% vs %s (%.4g -> %.4g)\n",
+			name, metric, 100*(nv/ov-1), path, ov, nv)
+		warned++
+	}
+	if warned == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no >10%% regressions vs %s\n", path)
+	}
+	return nil
+}
+
+// appendHistory appends one compact JSON line {label, utc, results} to
+// the ledger so successive PRs accumulate a queryable perf timeline.
+func appendHistory(path, label string, results map[string]map[string]float64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entry := struct {
+		Label   string                        `json:"label"`
+		UTC     string                        `json:"utc"`
+		Results map[string]map[string]float64 `json:"results"`
+	}{label, time.Now().UTC().Format(time.RFC3339), results}
+	enc := json.NewEncoder(f)
+	return enc.Encode(entry)
 }
 
 // parse accumulates per-benchmark metric sums and averages them, so a

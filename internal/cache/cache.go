@@ -91,6 +91,10 @@ type Line struct {
 	lastUse uint64
 }
 
+// invalidTag marks an empty way in Cache.tags. Simulated line
+// addresses are byte addresses >> 6 and never reach 2^64-1.
+const invalidTag = ^uint64(0)
+
 // Victim describes a line displaced by an Insert.
 type Victim struct {
 	Addr  uint64
@@ -122,7 +126,14 @@ type Cache struct {
 	cfg      Config
 	sets     int
 	setShift uint
-	lines    []Line   // sets*assoc, row-major
+	lines    []Line // sets*assoc, row-major
+	// tags mirrors lines' (Valid, Addr) pairs as one word per way —
+	// invalidTag when the way is empty, the line address otherwise. A
+	// 16-way set's tags span two cache lines instead of the eight that
+	// the Line structs occupy, which matters because find is the
+	// hottest loop in the whole simulator (every DMA line write, CPU
+	// access and prefetch probes a set).
+	tags     []uint64
 	plru     []uint64 // one tree per set (TreePLRU only)
 	useClock uint64
 	occ      int // valid-line count, maintained incrementally
@@ -151,6 +162,10 @@ func New(cfg Config) *Cache {
 		sets:     sets,
 		setShift: uint(bits.TrailingZeros(uint(sets))),
 		lines:    make([]Line, sets*cfg.Assoc),
+		tags:     make([]uint64, sets*cfg.Assoc),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	if cfg.Policy == TreePLRU {
 		c.plru = make([]uint64, sets)
@@ -183,10 +198,11 @@ func (c *Cache) set(lineAddr uint64) []Line {
 }
 
 func (c *Cache) find(lineAddr uint64) (int, *Line) {
-	set := c.set(lineAddr)
-	for w := range set {
-		if set[w].Valid && set[w].Addr == lineAddr {
-			return w, &set[w]
+	base := c.setIndex(lineAddr) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	for w := range tags {
+		if tags[w] == lineAddr {
+			return w, &c.lines[base+w]
 		}
 	}
 	return -1, nil
@@ -271,6 +287,7 @@ func (c *Cache) Insert(lineAddr uint64, dirty, io bool, mask WayMask) (Victim, b
 		c.occ++
 	}
 	set[way] = Line{Addr: lineAddr, Valid: true, Dirty: dirty, IO: io}
+	c.tags[c.setIndex(lineAddr)*c.cfg.Assoc+way] = lineAddr
 	c.place(lineAddr, way)
 	return v, evicted
 }
@@ -290,8 +307,9 @@ func (c *Cache) victimWay(lineAddr uint64, mask WayMask) int {
 		panic(fmt.Sprintf("cache %s: empty way mask", c.cfg.Name))
 	}
 	set := c.set(lineAddr)
+	base := c.setIndex(lineAddr) * c.cfg.Assoc
 	for w := len(set) - 1; w >= 0; w-- {
-		if mask&(1<<uint(w)) != 0 && !set[w].Valid {
+		if mask&(1<<uint(w)) != 0 && c.tags[base+w] == invalidTag {
 			return w
 		}
 	}
@@ -336,13 +354,14 @@ func (c *Cache) victimWay(lineAddr uint64, mask WayMask) int {
 // the caller decides what to do with a dirty victim (this is exactly
 // the distinction IDIO's invalidate-without-writeback exploits).
 func (c *Cache) Invalidate(lineAddr uint64) (present, dirty bool) {
-	_, ln := c.find(lineAddr)
+	way, ln := c.find(lineAddr)
 	if ln == nil {
 		return false, false
 	}
 	c.stats.Invals++
 	dirty = ln.Dirty
 	*ln = Line{}
+	c.tags[c.setIndex(lineAddr)*c.cfg.Assoc+way] = invalidTag
 	c.occ--
 	return true, dirty
 }
@@ -399,6 +418,7 @@ func (c *Cache) Flush() []Victim {
 			}
 			c.lines[i] = Line{}
 		}
+		c.tags[i] = invalidTag
 	}
 	c.occ = 0
 	return out

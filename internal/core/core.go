@@ -601,27 +601,35 @@ func (p *Prefetcher) Hint(s *sim.Simulator, line uint64) {
 }
 
 func (p *Prefetcher) issue(s *sim.Simulator) {
-	if p.count == 0 {
-		p.busy = false
-		return
-	}
-	// Adaptive regulation: while the MLC is nearly full, hold the
-	// queue and retry later — the CPU's consumption (plus
-	// self-invalidation) is what drains it.
-	if p.load != nil && p.load.MLCLoadFraction(p.coreID) > p.cfg.HighWater {
-		p.Throttled++
-		s.After(p.cfg.Backoff, p.issueFn)
-		return
-	}
-	line := p.queue[p.head]
-	p.head = (p.head + 1) % p.cfg.QueueDepth
-	p.count--
-	p.target.PrefetchToMLC(s.Now(), p.coreID, line)
-	p.Issued++
-	if p.count > 0 {
-		s.After(p.cfg.IssueInterval, p.issueFn)
-	} else {
-		p.busy = false
+	for {
+		if p.count == 0 {
+			p.busy = false
+			return
+		}
+		// Adaptive regulation: while the MLC is nearly full, hold the
+		// queue and retry later — the CPU's consumption (plus
+		// self-invalidation) is what drains it.
+		if p.load != nil && p.load.MLCLoadFraction(p.coreID) > p.cfg.HighWater {
+			p.Throttled++
+			s.After(p.cfg.Backoff, p.issueFn)
+			return
+		}
+		line := p.queue[p.head]
+		p.head = (p.head + 1) % p.cfg.QueueDepth
+		p.count--
+		p.target.PrefetchToMLC(s.Now(), p.coreID, line)
+		p.Issued++
+		if p.count == 0 {
+			p.busy = false
+			return
+		}
+		// Drain the queue inline while nothing else is due before the
+		// next paced issue instant (sim.FuseAt matches the ordering of
+		// the fresh event s.After would schedule).
+		if !s.FuseAt(s.Now().Add(p.cfg.IssueInterval)) {
+			s.After(p.cfg.IssueInterval, p.issueFn)
+			return
+		}
 	}
 }
 

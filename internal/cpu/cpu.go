@@ -490,40 +490,51 @@ func (c *Core) Stalled(now sim.Time) bool { return now < c.stallUntil }
 // descriptors and process it. When idle, a polling driver re-polls
 // after PollInterval; an interrupt driver re-arms and sleeps.
 func (c *Core) poll(s *sim.Simulator) {
-	if s.Now() < c.stallUntil {
-		// Injected slow-core stall: defer the whole loop (including
-		// interrupt-mode wakeups) until the stall expires.
-		c.StallsTaken++
-		c.StallTime += c.stallUntil.Sub(s.Now())
-		s.At(c.stallUntil, c.pollFn)
-		return
-	}
-	c.batch = c.batch[:0]
-	// Service the ports round-robin, rotating the starting port each
-	// poll so no port starves another.
-	nRings := len(c.env.Rings)
-	start := c.rrNext
-	c.rrNext = (c.rrNext + 1) % nRings
-	empty := 0
-	for len(c.batch) < c.cfg.BatchSize && empty < nRings {
-		ring := c.env.Rings[start]
-		start = (start + 1) % nRings
-		slot := ring.Poll(s.Now())
-		if slot == nil {
-			empty++
-			continue
+	for {
+		if s.Now() < c.stallUntil {
+			// Injected slow-core stall: defer the whole loop (including
+			// interrupt-mode wakeups) until the stall expires.
+			c.StallsTaken++
+			c.StallTime += c.stallUntil.Sub(s.Now())
+			s.At(c.stallUntil, c.pollFn)
+			return
 		}
-		empty = 0
-		ring.Consume()
-		c.batch = append(c.batch, slot)
-	}
-	if len(c.batch) == 0 {
+		c.batch = c.batch[:0]
+		// Service the ports round-robin, rotating the starting port each
+		// poll so no port starves another.
+		nRings := len(c.env.Rings)
+		start := c.rrNext
+		c.rrNext = (c.rrNext + 1) % nRings
+		empty := 0
+		for len(c.batch) < c.cfg.BatchSize && empty < nRings {
+			ring := c.env.Rings[start]
+			start = (start + 1) % nRings
+			slot := ring.Poll(s.Now())
+			if slot == nil {
+				empty++
+				continue
+			}
+			empty = 0
+			ring.Consume()
+			c.batch = append(c.batch, slot)
+		}
+		if len(c.batch) > 0 {
+			break
+		}
 		if c.cfg.Driver == DriverInterrupt {
 			c.irqArmed = true
 			return
 		}
-		s.After(c.cfg.PollInterval, c.pollFn)
-		return
+		// Fuse the idle re-poll: while no other event is pending before
+		// the next poll instant, spin the poll loop inline instead of
+		// paying a scheduler round trip per empty poll. FuseAt's strict
+		// tie handling (any pending event at or before the instant
+		// refuses the fuse) makes the inline spin order-identical to the
+		// scheduled re-poll, and its horizon check bounds the spin.
+		if !s.FuseAt(s.Now().Add(c.cfg.PollInterval)) {
+			s.After(c.cfg.PollInterval, c.pollFn)
+			return
+		}
 	}
 	if c.FirstPacketAt == 0 && c.Processed == 0 {
 		c.FirstPacketAt = s.Now()
@@ -532,74 +543,105 @@ func (c *Core) poll(s *sim.Simulator) {
 	c.processNext(s, 0)
 }
 
-// processNext handles c.batch[i] in its own event, then chains to the
-// next packet; after the last packet, non-deferred slots are freed in
-// ring order and the loop re-polls immediately (run to completion).
+// processNext runs the batch from entry i: each packet's OnPacket fires
+// at its start instant and its retirement at start+lat. When no other
+// event is pending in between, the retirement is fused inline
+// (sim.FuseAt) and the loop continues to the next packet without a
+// scheduler round trip; otherwise the packet's pkt-done is scheduled as
+// its own event exactly as before fusion — FuseAt's strict tie handling
+// means the fused path is taken only when the two are indistinguishable.
 // Per-packet state lives on the Core — a core runs exactly one packet
 // at a time, so the fields replace what used to be closure captures.
 func (c *Core) processNext(s *sim.Simulator, i int) {
-	slot := c.batch[i]
-	start := s.Now()
-	extra, deferred := c.app.OnPacket(&c.env, slot)
-	// Memory latency accrued by OnPacket is measured by how much the
-	// app reports plus the fixed instruction cost.
-	lat := c.memLatencyOf(extra) // extra already includes mem time from env calls made by app
-	done := start.Add(lat)
-	// Capture packet identity now: a fast TX completion can recycle
-	// the slot (clearing Pkt) before the pkt-done event fires.
-	c.curIdx = i
-	c.curLat = lat
-	c.curStart = start
-	c.curArrival = sim.Time(slot.Pkt.ArrivalTimePS)
-	c.curSeq = slot.Pkt.Seq
-	c.curSlot = slot
-	if !deferred {
-		c.releasable = append(c.releasable, slot)
+	for {
+		slot := c.batch[i]
+		start := s.Now()
+		extra, deferred := c.app.OnPacket(&c.env, slot)
+		// Memory latency accrued by OnPacket is measured by how much the
+		// app reports plus the fixed instruction cost.
+		lat := c.memLatencyOf(extra) // extra already includes mem time from env calls made by app
+		done := start.Add(lat)
+		// Capture packet identity now: a fast TX completion can recycle
+		// the slot (clearing Pkt) before the pkt-done event fires.
+		c.curIdx = i
+		c.curLat = lat
+		c.curStart = start
+		c.curArrival = sim.Time(slot.Pkt.ArrivalTimePS)
+		c.curSeq = slot.Pkt.Seq
+		c.curSlot = slot
+		if !deferred {
+			c.releasable = append(c.releasable, slot)
+		}
+		if !s.FuseAt(done) {
+			s.AtArgNamed(done, "pkt-done", pktDoneEv, sim.Arg{Obj: c})
+			return
+		}
+		c.retire(s)
+		if c.curIdx+1 >= len(c.batch) {
+			c.endBatch(s)
+			return
+		}
+		i = c.curIdx + 1
 	}
-	s.AtArgNamed(done, "pkt-done", pktDoneEv, sim.Arg{Obj: c})
 }
 
-// pktDoneEv retires the in-flight packet (Arg.Obj is the *Core) and
-// either chains to the next batch entry or frees the batch and
-// re-polls.
-func pktDoneEv(sm *sim.Simulator, a sim.Arg) {
-	c := a.Obj.(*Core)
+// retire books the in-flight packet's completion at s.Now() (its done
+// instant): counters, latency histogram, trace, observability.
+func (c *Core) retire(s *sim.Simulator) {
 	c.Processed++
 	c.BusyTime += c.curLat
-	c.LastDoneAt = sm.Now()
-	c.Latencies.Record(sm.Now().Sub(c.curArrival))
+	c.LastDoneAt = s.Now()
+	c.Latencies.Record(s.Now().Sub(c.curArrival))
 	if c.cfg.TraceCapacity > 0 && len(c.Trace) < c.cfg.TraceCapacity {
 		c.Trace = append(c.Trace, TraceRecord{
 			Seq:     c.curSeq,
 			Arrival: c.curArrival,
 			Ready:   c.curSlot.ReadyAt,
 			Start:   c.curStart,
-			Done:    sm.Now(),
+			Done:    s.Now(),
 		})
 	}
 	if c.env.Obs.TracingPacket(c.curSeq) {
 		c.env.Obs.Emit(obs.Event{
-			Kind: obs.EvDone, Seq: c.curSeq, Core: c.id, At: sm.Now(),
+			Kind: obs.EvDone, Seq: c.curSeq, Core: c.id, At: s.Now(),
 			Arrival: c.curArrival, Ready: c.curSlot.ReadyAt, Start: c.curStart,
 		})
 	}
-	if c.curIdx+1 < len(c.batch) {
-		c.processNext(sm, c.curIdx+1)
-		return
-	}
+}
+
+// endBatch releases the batch's non-deferred buffers in ring order
+// (charging the invalidate-instruction cost) and re-polls — inline when
+// the free-cost delay fuses, via a scheduled event otherwise.
+func (c *Core) endBatch(s *sim.Simulator) {
 	c.curSlot = nil
-	// End of batch: release buffers in ring order (charging the
-	// invalidate-instruction cost), then re-poll.
 	var freeCost sim.Duration
 	for _, sl := range c.releasable {
 		freeCost += c.env.FreeSlot(sl)
 	}
 	c.BusyTime += freeCost
 	if freeCost > 0 {
-		sm.After(freeCost, c.pollFn)
+		if s.FuseAt(s.Now().Add(freeCost)) {
+			c.poll(s)
+			return
+		}
+		s.After(freeCost, c.pollFn)
 		return
 	}
-	c.poll(sm)
+	c.poll(s)
+}
+
+// pktDoneEv retires the in-flight packet (Arg.Obj is the *Core) and
+// either chains to the next batch entry or frees the batch and
+// re-polls. It fires only when the retirement could not be fused
+// inline (another event interleaved the service interval).
+func pktDoneEv(sm *sim.Simulator, a sim.Arg) {
+	c := a.Obj.(*Core)
+	c.retire(sm)
+	if c.curIdx+1 < len(c.batch) {
+		c.processNext(sm, c.curIdx+1)
+		return
+	}
+	c.endBatch(sm)
 }
 
 // memLatencyOf combines app-reported latency with the per-packet

@@ -726,8 +726,17 @@ type directory struct {
 	sets  int
 	assoc int
 	ents  []dirEntry
+	// tags packs the entries' (valid, line) pairs one word per way —
+	// dirInvalid when empty, the line address otherwise — so the owner
+	// probe on every memory access scans a compact array instead of
+	// striding across 32-byte dirEntry records.
+	tags  []uint64
 	clock uint64
 }
+
+// dirInvalid marks an empty way in directory.tags (line addresses are
+// byte addresses >> 6 and never reach 2^64-1).
+const dirInvalid = ^uint64(0)
 
 func newDirectory(entries, assoc int) *directory {
 	if assoc <= 0 {
@@ -741,7 +750,12 @@ func newDirectory(entries, assoc int) *directory {
 	for sets&(sets-1) != 0 {
 		sets &= sets - 1
 	}
-	return &directory{sets: sets, assoc: assoc, ents: make([]dirEntry, sets*assoc)}
+	d := &directory{sets: sets, assoc: assoc, ents: make([]dirEntry, sets*assoc)}
+	d.tags = make([]uint64, sets*assoc)
+	for i := range d.tags {
+		d.tags[i] = dirInvalid
+	}
+	return d
 }
 
 func (d *directory) set(line uint64) []dirEntry {
@@ -750,10 +764,11 @@ func (d *directory) set(line uint64) []dirEntry {
 }
 
 func (d *directory) owner(line uint64) (int, bool) {
-	set := d.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			return set[i].owner, true
+	base := int(line&uint64(d.sets-1)) * d.assoc
+	tags := d.tags[base : base+d.assoc]
+	for i := range tags {
+		if tags[i] == line {
+			return d.ents[base+i].owner, true
 		}
 	}
 	return 0, false
@@ -763,17 +778,20 @@ func (d *directory) owner(line uint64) (int, bool) {
 // victim entry is evicted and returned for back-invalidation.
 func (d *directory) insert(line uint64, owner int) (dirVictim, bool) {
 	d.clock++
-	set := d.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
+	base := int(line&uint64(d.sets-1)) * d.assoc
+	tags := d.tags[base : base+d.assoc]
+	set := d.ents[base : base+d.assoc]
+	for i := range tags {
+		if tags[i] == line {
 			set[i].owner = owner
 			set[i].use = d.clock
 			return dirVictim{}, false
 		}
 	}
-	for i := range set {
-		if !set[i].valid {
+	for i := range tags {
+		if tags[i] == dirInvalid {
 			set[i] = dirEntry{line: line, owner: owner, valid: true, use: d.clock}
+			tags[i] = line
 			return dirVictim{}, false
 		}
 	}
@@ -786,14 +804,17 @@ func (d *directory) insert(line uint64, owner int) (dirVictim, bool) {
 	}
 	v := dirVictim{line: set[vi].line, owner: set[vi].owner}
 	set[vi] = dirEntry{line: line, owner: owner, valid: true, use: d.clock}
+	tags[vi] = line
 	return v, true
 }
 
 func (d *directory) remove(line uint64) {
-	set := d.set(line)
-	for i := range set {
-		if set[i].valid && set[i].line == line {
-			set[i].valid = false
+	base := int(line&uint64(d.sets-1)) * d.assoc
+	tags := d.tags[base : base+d.assoc]
+	for i := range tags {
+		if tags[i] == line {
+			d.ents[base+i].valid = false
+			tags[i] = dirInvalid
 			return
 		}
 	}

@@ -1,0 +1,107 @@
+package net
+
+// Micro-benchmarks for the fabric's hot paths. A multi-host RPC sweep
+// pushes every request and response through a client, two links and a
+// switch, so per-packet transit cost bounds the end-to-end experiment
+// wall-clock the same way the event kernel does. Run via
+// scripts/bench.sh, which records them in BENCH_sim.json.
+
+import (
+	"testing"
+
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// BenchmarkLinkTransit measures one packet's full link traversal —
+// enqueue, serialization, propagation, delivery — including packet
+// construction. Packets are offered in queue-sized batches and drained
+// so nothing tail-drops; one op is one delivered packet.
+func BenchmarkLinkTransit(b *testing.B) {
+	s := sim.New()
+	dst := &sink{}
+	l := NewLink(LinkConfig{Name: "b", RateBps: 100e9, Delay: sim.Microsecond, QueueDepth: 64}, dst)
+	flow := testFlow(1514)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		batch := 64
+		if b.N-n < batch {
+			batch = b.N - n
+		}
+		for i := 0; i < batch; i++ {
+			p, err := flow.Packet(uint64(n + i))
+			if err != nil {
+				b.Fatalf("packet: %v", err)
+			}
+			l.Receive(s, p)
+		}
+		s.Run()
+		n += batch
+	}
+	b.StopTimer()
+	if got := l.Stats().Delivered; got != uint64(b.N) {
+		b.Fatalf("delivered %d of %d offered", got, b.N)
+	}
+}
+
+// BenchmarkSwitchForward measures destination-IP forwarding: decode,
+// route lookup, and hand-off through a per-port egress link. One op is
+// one packet switched and delivered.
+func BenchmarkSwitchForward(b *testing.B) {
+	s := sim.New()
+	a, c := &sink{}, &sink{}
+	sw := NewSwitch("sw0")
+	ipA, ipC := pkt.IPv4{10, 0, 2, 1}, pkt.IPv4{10, 0, 2, 2}
+	sw.Route(ipA, sw.AddPort(NewLink(LinkConfig{Name: "a", RateBps: 100e9, QueueDepth: 64}, a)))
+	sw.Route(ipC, sw.AddPort(NewLink(LinkConfig{Name: "c", RateBps: 100e9, QueueDepth: 64}, c)))
+	flowA, flowC := testFlow(1514), testFlow(1514)
+	flowA.Dst, flowC.Dst = ipA, ipC
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		batch := 64
+		if b.N-n < batch {
+			batch = b.N - n
+		}
+		for i := 0; i < batch; i++ {
+			flow := &flowA
+			if (n+i)&1 == 1 {
+				flow = &flowC
+			}
+			p, err := flow.Packet(uint64(n + i))
+			if err != nil {
+				b.Fatalf("packet: %v", err)
+			}
+			sw.Receive(s, p)
+		}
+		s.Run()
+		n += batch
+	}
+	b.StopTimer()
+	if got := a.n + c.n; got != uint64(b.N) {
+		b.Fatalf("delivered %d of %d offered", got, b.N)
+	}
+}
+
+// BenchmarkClientRoundTrip measures one closed-loop request-response
+// cycle against a loopback echo: request pacing, uplink transit, echo,
+// downlink transit, response matching and latency recording. One op is
+// one completed round trip.
+func BenchmarkClientRoundTrip(b *testing.B) {
+	s := sim.New()
+	echo := &echoEndpoint{}
+	up := NewLink(LinkConfig{Name: "up", RateBps: 100e9, Delay: sim.Microsecond, QueueDepth: 64}, echo)
+	c := NewClient(ClientConfig{
+		Flow: testFlow(1514), Mode: ModeClosed, Outstanding: 4, Requests: uint64(b.N),
+	}, up)
+	echo.reply = NewLink(LinkConfig{Name: "down", RateBps: 100e9, Delay: sim.Microsecond, QueueDepth: 64}, c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.Start(s)
+	s.Run()
+	b.StopTimer()
+	if !c.Done() || c.Responses() != uint64(b.N) {
+		b.Fatalf("responses %d of %d issued", c.Responses(), b.N)
+	}
+}

@@ -116,21 +116,19 @@ func (n *NIC) kickTX(s *sim.Simulator, q int, slot *TXSlot, payload mem.Region) 
 	// completion write.
 	start, end := n.reserveEngine(s.Now(), descLines+payloadLines+1)
 	lt := n.lineTime()
-	// Descriptor fetch then payload fetch, one paced line read each —
-	// index loops over consecutive lines with argful events, so the
-	// per-packet TX schedule allocates nothing.
-	idx := 0
-	firstDesc := slot.Desc.Base.Line()
-	for i := 0; i < descLines; i++ {
-		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
-		idx++
-		s.AtArgNamed(at, "tx-read", dmaReadEv, sim.Arg{Obj: n, U0: uint64(firstDesc) + uint64(i)})
+	// Descriptor fetch then payload fetch, each a fused burst of paced
+	// line reads (see dmaReadBurstEv) — the two runs cover disjoint
+	// paced intervals, so two walker events reproduce the exact
+	// pre-fusion line schedule with ~2 scheduler round trips instead of
+	// one per line.
+	if descLines > 0 {
+		s.AtArgNamed(start, "tx-read", dmaReadBurstEv,
+			sim.Arg{Obj: n, U0: uint64(slot.Desc.Base.Line()), U1: uint64(descLines)})
 	}
-	firstPayload := payload.Base.Line()
-	for i := 0; i < payloadLines; i++ {
-		at := start.Add(sim.Duration(int64(lt) * int64(idx)))
-		idx++
-		s.AtArgNamed(at, "tx-read", dmaReadEv, sim.Arg{Obj: n, U0: uint64(firstPayload) + uint64(i)})
+	if payloadLines > 0 {
+		payloadAt := start.Add(sim.Duration(int64(lt) * int64(descLines)))
+		s.AtArgNamed(payloadAt, "tx-read", dmaReadBurstEv,
+			sim.Arg{Obj: n, U0: uint64(payload.Base.Line()), U1: uint64(payloadLines)})
 	}
 	// Completion write-back: one cacheline PCIe write into the
 	// descriptor, tagged for the owning core (class 0, not a header).

@@ -241,15 +241,40 @@ func (e *WatchdogError) Error() string {
 		e.Kind, e.At, e.Events, e.Pending)
 }
 
-// Simulator owns the event queue and the current simulated time.
+// Simulator owns the event queues and the current simulated time.
 // The zero value is not usable; construct with New.
+//
+// Scheduling is two-level: a time wheel (wheel.go) absorbs the dense
+// short-horizon bulk — per-packet DMA, service, poll and link events —
+// with O(1) insertion, while the 4-ary heap keeps sparse long-horizon
+// timers and the wheel's refusals. Dispatch merges the two by
+// (at, seq), so the executed sequence is identical to a single heap's.
 type Simulator struct {
 	now       Time
 	seq       uint64
-	events    eventQueue
+	heap      eventQueue
+	wheel     timeWheel
 	processed uint64
 	horizon   Time // hard stop; events beyond are not executed
 	stopped   bool
+
+	// curSeq is the seq of the event currently being dispatched — the
+	// anchor for the inline-continuation API (ContinueAt / YieldArg).
+	curSeq uint64
+
+	// nextEv/nextSrc cache peekEvent's answer while nextValid: fused
+	// burst walks probe the scheduler head between every link
+	// (ContinueAt/FuseAt), and the cache turns those probes into two
+	// comparisons. enqueue keeps the cache exact (a smaller arrival
+	// replaces it, tagged with the queue that accepted it); popWithin
+	// invalidates it. nextSrc records where the cached minimum lives so
+	// the pop needn't re-derive it: srcWheel means wheel.peek has
+	// already positioned the consume cursor on it, srcWheelRaw that the
+	// event was cached at enqueue time and the cursor still needs a
+	// wheel.peek before popping.
+	nextEv    schedEvent
+	nextSrc   uint8
+	nextValid bool
 
 	wd          WatchdogConfig
 	wdEnabled   bool
@@ -286,7 +311,84 @@ func (s *Simulator) takeArg(i int32) Arg {
 
 // New returns an empty simulator positioned at time zero.
 func New() *Simulator {
-	return &Simulator{horizon: Never}
+	return &Simulator{horizon: Never, wheel: newTimeWheel()}
+}
+
+// enqueue files one event into the two-level scheduler: the wheel when
+// it can hold it, the heap otherwise (past-cursor, sorted-slot, or
+// far-future overflow spills).
+// Sources of the cached scheduler minimum (Simulator.nextSrc).
+const (
+	srcNone     = iota // no pending events
+	srcHeap            // minimum is heap[0]
+	srcWheel           // minimum is at the wheel cursor (peeked)
+	srcWheelRaw        // minimum is in the wheel, cursor not yet there
+)
+
+func (s *Simulator) enqueue(e schedEvent) {
+	inWheel := s.wheel.push(e)
+	if !inWheel {
+		s.heap.push(e)
+	}
+	if s.nextValid && (s.nextSrc == srcNone || lessEv(e, s.nextEv)) {
+		s.nextEv = e
+		if inWheel {
+			s.nextSrc = srcWheelRaw
+		} else {
+			s.nextSrc = srcHeap
+		}
+	}
+}
+
+// refreshNext recomputes the cached global minimum of the two queues
+// by (at, seq). The cache stays valid until the next pop; a cheaper
+// arrival refreshes it in enqueue, so a valid cache is always exact.
+// An enqueue-cached wheel minimum (srcWheelRaw) is safe even though
+// the cursor hasn't visited it: anything smaller than it would have
+// been refused by the wheel (behind the cursor) and cached from the
+// heap instead. Hot callers (FuseAt, ContinueAt, popWithin) test the
+// cached fields in place rather than going through peekEvent, which
+// would copy the 40-byte event on every return.
+func (s *Simulator) refreshNext() {
+	we, wok := s.wheel.peek()
+	src := srcNone
+	if wok {
+		src = srcWheel
+	}
+	if len(s.heap) > 0 && (!wok || lessEv(s.heap[0], we)) {
+		we, src = s.heap[0], srcHeap
+	}
+	s.nextEv, s.nextSrc, s.nextValid = we, uint8(src), true
+}
+
+// peekEvent returns the global minimum without consuming it.
+func (s *Simulator) peekEvent() (schedEvent, bool) {
+	if !s.nextValid {
+		s.refreshNext()
+	}
+	return s.nextEv, s.nextSrc != srcNone
+}
+
+// popWithin consumes and returns the global minimum event if its time
+// is within the horizon.
+func (s *Simulator) popWithin(horizon Time) (schedEvent, bool) {
+	if !s.nextValid {
+		s.refreshNext()
+	}
+	if s.nextSrc == srcNone || s.nextEv.at > horizon {
+		return schedEvent{}, false
+	}
+	src := s.nextSrc
+	s.nextValid = false
+	if src == srcHeap {
+		return s.heap.pop(), true
+	}
+	if src == srcWheelRaw {
+		// Position the wheel cursor on its minimum — which is the
+		// cached one, since anything smaller was diverted to the heap.
+		s.wheel.peek()
+	}
+	return s.wheel.pop(), true
 }
 
 // Now returns the current simulation time.
@@ -296,7 +398,7 @@ func (s *Simulator) Now() Time { return s.now }
 func (s *Simulator) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events currently queued.
-func (s *Simulator) Pending() int { return len(s.events) }
+func (s *Simulator) Pending() int { return len(s.heap) + s.wheel.count }
 
 // At schedules fn to run at absolute time at. Scheduling into the past
 // panics: it would silently reorder causality.
@@ -316,7 +418,7 @@ func (s *Simulator) AtNamed(at Time, name string, fn Event) {
 		panic("sim: nil event")
 	}
 	s.seq++
-	s.events.push(schedEvent{at: at, seq: s.seq, fn: fn})
+	s.enqueue(schedEvent{at: at, seq: s.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -341,7 +443,71 @@ func (s *Simulator) AtArgNamed(at Time, name string, fn ArgEvent, arg Arg) {
 		panic("sim: nil event")
 	}
 	s.seq++
-	s.events.push(schedEvent{at: at, seq: s.seq, afn: fn, arg: s.putArg(arg)})
+	s.enqueue(schedEvent{at: at, seq: s.seq, afn: fn, arg: s.putArg(arg)})
+}
+
+// ContinueAt is the inline-continuation check for fused (batched)
+// events: called from inside a running event's handler, it reports
+// whether that handler may keep executing inline at time t — i.e.
+// whether an event re-scheduled at (t, curSeq) would be the very next
+// thing the dispatch loop ran anyway. On success the clock advances to
+// t and the handler continues; on failure the handler must YieldArg
+// the remainder of its work and return. Because continuation is
+// granted only when (t, curSeq) precedes every pending event (and t is
+// within the run horizon), fusing a chain of events into one handler
+// executes the exact same model actions at the exact same times and in
+// the exact same total order as scheduling each link separately —
+// which is what keeps fused runs byte-identical to unfused ones.
+func (s *Simulator) ContinueAt(t Time) bool {
+	if s.stopped || t > s.horizon {
+		return false
+	}
+	if !s.nextValid {
+		s.refreshNext()
+	}
+	if s.nextSrc != srcNone && (s.nextEv.at < t || (s.nextEv.at == t && s.nextEv.seq < s.curSeq)) {
+		return false
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return true
+}
+
+// FuseAt is ContinueAt for work that would otherwise be scheduled as a
+// fresh event: it reports whether an event scheduled now for time t
+// would run immediately next. A fresh event's seq would exceed every
+// pending seq, so ties at t defer to the pending event — the strict
+// form of the ContinueAt check. On success the clock advances to t.
+func (s *Simulator) FuseAt(t Time) bool {
+	if s.stopped || t > s.horizon {
+		return false
+	}
+	if !s.nextValid {
+		s.refreshNext()
+	}
+	if s.nextSrc != srcNone && s.nextEv.at <= t {
+		return false
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return true
+}
+
+// YieldArg re-queues the running argful event at time at, preserving
+// its original ordering seq — the hand-off path when ContinueAt
+// refuses. The remainder of the fused work keeps its place in the
+// (at, seq) total order, so interleaving events observe the same
+// schedule as if every link had been a separate event.
+func (s *Simulator) YieldArg(at Time, fn ArgEvent, arg Arg) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: yield at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	s.enqueue(schedEvent{at: at, seq: s.curSeq, afn: fn, arg: s.putArg(arg)})
 }
 
 // AfterArg schedules an argful event d after the current time.
@@ -400,17 +566,17 @@ func (s *Simulator) Err() error {
 // records the error and stops the loop.
 func (s *Simulator) checkWatchdog(start uint64) {
 	if s.wd.MaxEventsPerInstant > 0 && s.sameInstant > s.wd.MaxEventsPerInstant {
-		s.wdErr = &WatchdogError{Kind: "no-progress", At: s.now, Events: s.sameInstant, Pending: len(s.events)}
+		s.wdErr = &WatchdogError{Kind: "no-progress", At: s.now, Events: s.sameInstant, Pending: s.Pending()}
 		s.stopped = true
 		return
 	}
-	if s.wd.MaxPendingEvents > 0 && len(s.events) > s.wd.MaxPendingEvents {
-		s.wdErr = &WatchdogError{Kind: "event-storm", At: s.now, Events: s.processed - start, Pending: len(s.events)}
+	if s.wd.MaxPendingEvents > 0 && s.Pending() > s.wd.MaxPendingEvents {
+		s.wdErr = &WatchdogError{Kind: "event-storm", At: s.now, Events: s.processed - start, Pending: s.Pending()}
 		s.stopped = true
 		return
 	}
 	if s.wd.MaxProcessedEvents > 0 && s.processed-start > s.wd.MaxProcessedEvents {
-		s.wdErr = &WatchdogError{Kind: "event-budget", At: s.now, Events: s.processed - start, Pending: len(s.events)}
+		s.wdErr = &WatchdogError{Kind: "event-budget", At: s.now, Events: s.processed - start, Pending: s.Pending()}
 		s.stopped = true
 	}
 }
@@ -423,17 +589,18 @@ func (s *Simulator) RunUntil(horizon Time) uint64 {
 	s.stopped = false
 	s.wdErr = nil
 	start := s.processed
-	for len(s.events) > 0 && !s.stopped {
-		if s.events[0].at > horizon {
+	for !s.stopped {
+		next, ok := s.popWithin(horizon)
+		if !ok {
 			break
 		}
-		next := s.events.pop()
 		if next.at > s.now {
 			s.sameInstant = 0
 		}
 		s.now = next.at
 		s.processed++
 		s.sameInstant++
+		s.curSeq = next.seq
 		if next.afn != nil {
 			next.afn(s, s.takeArg(next.arg))
 		} else {

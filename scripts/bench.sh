@@ -1,11 +1,14 @@
 #!/bin/sh
 # Benchmark baseline runner: benchmarks the figure harness (repo root),
-# the event kernel (internal/sim) and the cache hierarchy
-# (internal/hier) with allocation stats, then condenses the raw stream
-# into BENCH_sim.json (benchmark name -> averaged ns/op, B/op,
-# allocs/op and custom metrics) via cmd/benchjson.
+# the event kernel (internal/sim), the cache hierarchy (internal/hier)
+# and the network fabric (internal/net) with allocation stats, then
+# condenses the raw stream into BENCH_sim.json (benchmark name ->
+# averaged ns/op, B/op, allocs/op and custom metrics) via cmd/benchjson.
+# Each run also appends one labelled line to BENCH_history.jsonl, so
+# successive PRs accumulate a perf timeline next to the baseline.
 #
 #   COUNT=5 OUT=after.json scripts/bench.sh      # override repetitions/output
+#   LABEL=pr7 scripts/bench.sh                   # override the history label
 #
 # The raw `go test` output is kept next to the JSON for eyeballing.
 set -eu
@@ -14,6 +17,8 @@ cd "$(dirname "$0")/.."
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_sim.json}"
 RAW="${RAW:-${OUT%.json}.txt}"
+HISTORY="${HISTORY:-BENCH_history.jsonl}"
+LABEL="${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)}"
 
-go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier | tee "$RAW"
-go run ./cmd/benchjson -o "$OUT" "$RAW"
+go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier ./internal/net | tee "$RAW"
+go run ./cmd/benchjson -o "$OUT" -history "$HISTORY" -label "$LABEL" "$RAW"

@@ -13,8 +13,11 @@ GOMAXPROCS=2 go test -race ./internal/experiment
 GOMAXPROCS=2 go test -race ./internal/net
 GOMAXPROCS=2 go test -race ./internal/fault
 go test -run '^$' -bench . -benchtime=1x ./...
-# Allocation regression gate: the steady-state packet loop must stay
-# at zero heap allocations per packet (see alloc_test.go).
+# Perf gate, part 1: the fused packet-lifecycle smoke must run, and the
+# steady-state loop must stay at zero heap allocations per packet —
+# TestAllocsPerPacket measures the steady window directly and fails the
+# gate on any per-packet allocation (see alloc_test.go).
+go test -run '^$' -bench 'BenchmarkPacketLifecycle' -benchtime=1x -benchmem .
 go test -run 'TestAllocsPerPacket|TestNullPoolByteIdentical' -count=1 .
 # Observability smoke: run a short traced scenario and validate that
 # the Chrome trace and the metrics JSON both parse.
@@ -43,3 +46,12 @@ fi
 # Pool-leak gate after the chaos smokes: the lossy-fabric regression
 # test asserts PktPool.Outstanding == 0 with every resilience path hit.
 go test -run 'TestLossyFabricNoPoolLeak|TestClusterAllocsPerRequest' -count=1 .
+# Perf gate, part 2: compare a quick lifecycle run against the
+# committed baseline; benchjson prints a WARNING for every >10% ns/pkt
+# regression. Advisory, not failing — wall-clock numbers on shared
+# machines are too noisy for a hard gate, but the warning lands in the
+# check output where a reviewer will see it.
+if [ -f BENCH_sim.json ]; then
+    go test -run '^$' -bench 'BenchmarkPacketLifecycle' -benchmem -benchtime=3x . > "$obsdir/lifecycle.txt"
+    go run ./cmd/benchjson -baseline BENCH_sim.json -o "$obsdir/lifecycle.json" "$obsdir/lifecycle.txt"
+fi
