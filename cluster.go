@@ -3,6 +3,7 @@ package idio
 import (
 	"fmt"
 
+	"idio/internal/fault"
 	fnet "idio/internal/net"
 	"idio/internal/pkt"
 	"idio/internal/sim"
@@ -18,19 +19,26 @@ var ServerIP = pkt.IPv4{10, 0, 0, 1}
 // injection and fabric traffic can coexist without tuple collisions.
 func ClientIP(i int) pkt.IPv4 { return pkt.IPv4{10, 0, 2, byte(i + 1)} }
 
-// Cluster is a multi-host topology on one simulator: N lightweight
-// client hosts reaching one fully-modelled DUT server through an
-// output-queued switch. Requests travel client → uplink → switch →
-// server downlink → DUT NIC; the DUT's NF processes them and its TX
-// path hands completions to the wire hook, which echoes the frame
-// (addresses swapped) back through the switch to the owning client.
+// Cluster is a multi-host topology: N lightweight client hosts
+// reaching one fully-modelled DUT server through an output-queued
+// switch. Requests travel client → uplink → switch → server downlink
+// → DUT NIC; the DUT's NF processes them and its TX path hands
+// completions to the wire hook, which echoes the frame (addresses
+// swapped) back through the switch to the owning client.
 //
 //	client0 ──up──▶          ┌─▶ down ──▶ client0
 //	client1 ──up──▶  switch ─┼─▶ down ──▶ client1
 //	   ...           ▲    │  └─▶ ...
 //	                 │    └─ srv.down ─▶ [DUT NIC → cores → TX]
 //	                 └────── srv.up ◀────────────┘
+//
+// With ClusterConfig.Shards <= 1 every host shares one simulator —
+// the exact historical run. With Shards >= 2 the DUT, the switch and
+// groups of clients each own a private event domain advancing on its
+// own goroutine, synchronized conservatively at the links (the only
+// legal cross-domain edges); outputs stay byte-identical.
 type Cluster struct {
+	// Sim is the DUT's simulator — the only simulator when unsharded.
 	Sim *sim.Simulator
 	// DUT is the server host: the full System (hierarchy, NIC, IDIO).
 	DUT *System
@@ -47,19 +55,48 @@ type Cluster struct {
 	// switch traffic into the DUT NIC.
 	ServerUp   *fnet.Link
 	ServerDown *fnet.Link
-	// Hist aggregates end-to-end RPC latency across all clients.
+	// Hist aggregates end-to-end RPC latency across all clients. In a
+	// sharded cluster it is rebuilt at Collect time by merging the
+	// per-client histograms (bucket addition — the same final state
+	// shared recording would have produced).
 	Hist *stats.Histogram
 
 	cfg     ClusterConfig
 	started bool
+
+	// Sharded-mode state; engine is nil when Shards <= 1.
+	engine       *sim.Engine
+	doms         []*clusterDomain // [0]=dut, [1]=switch, [2..]=client groups
+	clientDomOf  []int            // client slot -> domain index
+	clientSlots  []int            // Clients[j] -> slot (parallel to Clients)
+	faultLinkDom []int            // fault AttachLink order -> owning domain
+	outboxes     []*fnet.Outbox
+	flushScratch []fnet.XEntry
+	phaseErr     error
 }
 
+// clusterDomain is one event domain of a sharded cluster: a private
+// simulator, a private packet pool (pkt.Pool is deliberately not
+// concurrency-safe) and the outbox collecting its cross-domain
+// handoffs between barriers.
+type clusterDomain struct {
+	name string
+	sm   *sim.Simulator
+	pool *pkt.Pool
+	out  *fnet.Outbox
+}
+
+// runStep is the until-idle checkpoint period, shared by the
+// single-simulator slicing loop and the sharded epoch engine so both
+// stop at identical instants (see System.RunUntilIdle).
+const runStep = 100 * sim.Microsecond
+
 // NewCluster wires the topology: the DUT server (full System) and
-// nClients client slots, all on one simulator. Client slots start
-// empty — attach an RPC client with AddRPCClient, or feed a slot's
-// uplink directly via ClientIngress (generator traffic through the
-// fabric). The DUT's port-0 TX path is wired to echo processed frames
-// back through the switch.
+// nClients client slots. Client slots start empty — attach an RPC
+// client with AddRPCClient, or feed a slot's uplink directly via
+// ClientIngress (generator traffic through the fabric; install on
+// ClientSim(i)). The DUT's port-0 TX path is wired to echo processed
+// frames back through the switch.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -76,16 +113,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Hist:   stats.NewHistogram(5),
 		cfg:    cfg,
 	}
+	if cfg.Shards > 1 {
+		cl.buildDomains()
+	}
 	o := dut.Observe()
 	cl.Switch.SetObserver(o)
 	reg := o.Registry()
 
 	// Server downlink: switch → DUT NIC (port 0 receives like a
-	// generator would — *nic.NIC satisfies fnet.Endpoint).
+	// generator would — *nic.NIC satisfies fnet.Endpoint). The switch
+	// domain owns it; the DUT domain is the delivery side.
 	down := cfg.ServerLink
 	down.Name = "srv.down"
 	cl.ServerDown = fnet.NewLink(down, dut.NIC)
 	cl.ServerDown.SetObserver(o)
+	cl.bindLink(cl.ServerDown, domSwitch, domDUT)
 	cl.ServerDown.RegisterMetrics(reg, "fabric.srv.down.")
 	cl.Switch.Route(ServerIP, cl.Switch.AddPort(cl.ServerDown))
 
@@ -96,6 +138,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	up.Name = "srv.up"
 	cl.ServerUp = fnet.NewLink(up, cl.Switch)
 	cl.ServerUp.SetObserver(o)
+	cl.bindLink(cl.ServerUp, domDUT, domSwitch)
 	cl.ServerUp.RegisterMetrics(reg, "fabric.srv.up.")
 	// The echo response is drawn from the host pool — usually the very
 	// request packet just released by the slot free in this same event,
@@ -122,8 +165,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cl.ClientUp[i] = fnet.NewLink(lc, cl.Switch)
 		cl.ClientUp[i].SetObserver(o)
 		// Clients and generators feeding this uplink draw their request
-		// packets from the host pool (central leak accounting).
-		cl.ClientUp[i].SetPacketPool(dut.PktPool)
+		// packets from the owning domain's pool (the host pool when
+		// unsharded — central leak accounting either way).
+		cl.ClientUp[i].SetPacketPool(cl.clientPool(i))
+		cl.bindLink(cl.ClientUp[i], cl.clientDomain(i), domSwitch)
 		cl.ClientUp[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.up.", i))
 	}
 	cl.Switch.RegisterMetrics(reg, "fabric.switch.")
@@ -131,20 +176,136 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	// Fabric links are fault targets; attach in slot order so the
 	// injector's victim choice is deterministic.
 	if dut.Faults != nil {
-		dut.Faults.AttachLink(cl.ServerDown)
-		dut.Faults.AttachLink(cl.ServerUp)
-		for _, l := range cl.ClientUp {
-			dut.Faults.AttachLink(l)
+		cl.attachFaultLink(cl.ServerDown, domSwitch)
+		cl.attachFaultLink(cl.ServerUp, domDUT)
+		for i, l := range cl.ClientUp {
+			cl.attachFaultLink(l, cl.clientDomain(i))
 		}
 	}
+	if cl.engine != nil {
+		// Per-domain progress counters land in the registry after every
+		// historical key, so unsharded registry output is unchanged.
+		for _, d := range cl.doms {
+			d := d
+			reg.CounterFunc("domain."+d.name+".events", func() uint64 { return d.sm.Processed() })
+		}
+		reg.CounterFunc("domain.epochs", func() uint64 { return cl.engine.Epochs() })
+	}
 	return cl, nil
+}
+
+// Domain indices: the DUT always owns domain 0 (it is the heaviest
+// host, so the epoch coordinator runs it inline), the switch domain 1,
+// and client groups fill 2..N-1.
+const (
+	domDUT    = 0
+	domSwitch = 1
+)
+
+// buildDomains partitions the cluster into Shards event domains and
+// builds the barrier-epoch engine. The conservative lookahead is the
+// minimum link propagation delay: a handoff produced during an epoch
+// always lands strictly after the next barrier, so flushing mailboxes
+// at every barrier is always in time.
+func (cl *Cluster) buildDomains() {
+	cfg := cl.cfg
+	groups := cfg.Shards - 2
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > cfg.Clients {
+		groups = cfg.Clients
+	}
+	names := []string{"dut", "switch"}
+	for g := 0; g < groups; g++ {
+		names = append(names, fmt.Sprintf("clients.%d", g))
+	}
+	for i, name := range names {
+		d := &clusterDomain{name: name, out: fnet.NewOutbox(i)}
+		if i == domDUT {
+			d.sm, d.pool = cl.Sim, cl.DUT.PktPool
+		} else {
+			d.sm, d.pool = sim.New(), pkt.NewPool(0)
+			if cfg.Host.Watchdog != nil {
+				d.sm.SetWatchdog(*cfg.Host.Watchdog)
+			}
+		}
+		cl.doms = append(cl.doms, d)
+		cl.outboxes = append(cl.outboxes, d.out)
+	}
+	// Client slots map onto groups in contiguous blocks, so clients
+	// that send at the same instant merge in slot order — the order
+	// the shared simulator's FIFO would have produced.
+	per := (cfg.Clients + groups - 1) / groups
+	cl.clientDomOf = make([]int, cfg.Clients)
+	for i := range cl.clientDomOf {
+		cl.clientDomOf[i] = 2 + i/per
+	}
+	lookahead := cfg.ClientLink.Delay
+	if cfg.ServerLink.Delay < lookahead {
+		lookahead = cfg.ServerLink.Delay
+	}
+	cl.engine = sim.NewEngine(lookahead, func() {
+		fnet.Flush(cl.outboxes, &cl.flushScratch)
+	})
+	for _, d := range cl.doms {
+		cl.engine.AddDomain(&sim.Domain{Name: d.name, Sim: d.sm, PendingExternal: d.out.Pending})
+	}
+	if cl.DUT.Faults != nil {
+		// Timeline phases are scheduled per owning domain in Start;
+		// everything else the injector runs stays DUT-local.
+		cl.DUT.Faults.ScheduleTimelineExternally()
+	}
+}
+
+// clientDomain returns the domain index owning client slot i.
+func (cl *Cluster) clientDomain(i int) int {
+	if cl.engine == nil {
+		return domDUT
+	}
+	return cl.clientDomOf[i]
+}
+
+// clientPool returns the packet pool client slot i draws from.
+func (cl *Cluster) clientPool(i int) *pkt.Pool {
+	if cl.engine == nil {
+		return cl.DUT.PktPool
+	}
+	return cl.doms[cl.clientDomOf[i]].pool
+}
+
+// bindLink marks l as a cross-domain edge from src to dst when the
+// cluster is sharded; unsharded clusters leave the link untouched.
+func (cl *Cluster) bindLink(l *fnet.Link, src, dst int) {
+	if cl.engine == nil {
+		return
+	}
+	l.BindCrossDomain(cl.doms[src].out, cl.doms[dst].sm, cl.doms[dst].pool)
+}
+
+// attachFaultLink registers l as a fault target and records its
+// owning domain so timeline phases can be scheduled there.
+func (cl *Cluster) attachFaultLink(l *fnet.Link, dom int) {
+	cl.DUT.Faults.AttachLink(l)
+	cl.faultLinkDom = append(cl.faultLinkDom, dom)
 }
 
 // ClientIngress returns slot i's uplink as a traffic.Receiver, so any
 // internal/traffic generator can be Installed onto the fabric instead
 // of injecting directly into the DUT NIC: generator → uplink → switch
-// → server downlink → NIC.
+// → server downlink → NIC. Install onto ClientSim(i)'s simulator.
 func (cl *Cluster) ClientIngress(i int) traffic.Receiver { return cl.ClientUp[i] }
+
+// ClientSim returns the simulator owning client slot i: the shared
+// simulator when unsharded, the slot's client-group domain when
+// sharded. Anything generating traffic into ClientIngress(i) must
+// schedule its events here.
+func (cl *Cluster) ClientSim(i int) *sim.Simulator {
+	if cl.engine == nil {
+		return cl.Sim
+	}
+	return cl.doms[cl.clientDomOf[i]].sm
+}
 
 // ClientFlow returns the canonical request flow for client slot i
 // targeting the NF on the given DUT core: source is the client's own
@@ -159,9 +320,12 @@ func (cl *Cluster) ClientFlow(i, core int) traffic.Flow {
 
 // AddRPCClient installs an RPC client on slot i whose requests are
 // served by the NF on the given DUT core: it builds the slot's
-// downlink, routes the client's address to it, pins the flow to the
-// core with an EP Flow Director rule, and shares the cluster-wide
-// latency histogram. A zero ccfg.Flow defaults to ClientFlow(i, core).
+// downlink, routes the client's address to it, and pins the flow to
+// the core with an EP Flow Director rule. A zero ccfg.Flow defaults
+// to ClientFlow(i, core). Unsharded clusters share the cluster-wide
+// latency histogram; sharded clusters record into per-client
+// histograms and merge at Collect (same aggregate, no cross-domain
+// writes).
 func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Client {
 	if cl.ClientDown[i] != nil {
 		panic(fmt.Sprintf("idio: client slot %d already has an RPC client", i))
@@ -169,7 +333,11 @@ func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Clien
 	if ccfg.Flow == (traffic.Flow{}) {
 		ccfg.Flow = cl.ClientFlow(i, core)
 	}
-	if ccfg.Hist == nil {
+	if cl.engine != nil {
+		if ccfg.Hist != nil {
+			panic("idio: a sharded cluster cannot share one histogram across client domains; leave ClientConfig.Hist nil")
+		}
+	} else if ccfg.Hist == nil {
 		ccfg.Hist = cl.Hist
 	}
 	c := fnet.NewClient(ccfg, cl.ClientUp[i])
@@ -180,36 +348,83 @@ func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Clien
 	lc.Name = fmt.Sprintf("c%d.down", i)
 	cl.ClientDown[i] = fnet.NewLink(lc, c)
 	cl.ClientDown[i].SetObserver(o)
+	cl.bindLink(cl.ClientDown[i], domSwitch, cl.clientDomain(i))
 	cl.ClientDown[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.down.", i))
 	cl.Switch.Route(ccfg.Flow.Src, cl.Switch.AddPort(cl.ClientDown[i]))
 	if cl.DUT.Faults != nil {
-		cl.DUT.Faults.AttachLink(cl.ClientDown[i])
+		cl.attachFaultLink(cl.ClientDown[i], domSwitch)
 	}
 
 	cl.DUT.FlowDir.AddEPRule(ccfg.Flow.Tuple(), core)
 	c.RegisterMetrics(reg, fmt.Sprintf("rpc.c%d.", i))
 	cl.Clients = append(cl.Clients, c)
+	cl.clientSlots = append(cl.clientSlots, i)
 	return c
 }
 
 // Start launches the DUT (cores, controller, injectors) and every
-// installed RPC client. Calling it more than once is a no-op.
+// installed RPC client, each on its owning domain's simulator.
+// Calling it more than once is a no-op.
 func (cl *Cluster) Start() {
 	if cl.started {
 		return
 	}
 	cl.started = true
 	cl.DUT.Start()
-	for _, c := range cl.Clients {
-		c.Start(cl.Sim)
+	if cl.engine != nil && cl.DUT.Faults != nil {
+		// Every timeline phase runs on the domain owning its target, at
+		// exactly its declared instant of that domain's timeline.
+		for di := range cl.doms {
+			di := di
+			cl.DUT.Faults.SchedulePhases(cl.doms[di].sm, func(ph fault.Phase) bool {
+				return cl.phaseDomain(ph) == di
+			})
+		}
+	}
+	for j, c := range cl.Clients {
+		c.Start(cl.ClientSim(cl.clientSlots[j]))
 	}
 }
 
+// phaseDomain resolves the domain that owns a timeline phase's
+// target: fabric phases belong to the domain whose events feed the
+// victim link; every other layer perturbs DUT components.
+func (cl *Cluster) phaseDomain(ph fault.Phase) int {
+	if ph.Layer == "fabric" && ph.Target >= 0 && ph.Target < len(cl.faultLinkDom) {
+		return cl.faultLinkDom[ph.Target]
+	}
+	return domDUT
+}
+
+// validatePhases cross-checks explicitly named phase domains against
+// the targets' actual owners (sharded clusters only — on one shared
+// simulator the name is advisory).
+func (cl *Cluster) validatePhases() error {
+	if cl.engine == nil || cl.DUT.Faults == nil || cl.cfg.Host.Faults == nil {
+		return nil
+	}
+	for i, ph := range cl.cfg.Host.Faults.Timeline {
+		if ph.Domain == "" {
+			continue
+		}
+		if want := cl.doms[cl.phaseDomain(ph)].name; ph.Domain != want {
+			return fmt.Errorf("idio: fault timeline[%d] names domain %q but its %s target %d belongs to domain %q",
+				i, ph.Domain, ph.Layer, ph.Target, want)
+		}
+	}
+	return nil
+}
+
 // Idle reports whether the whole topology has drained: DUT rings
-// empty, no packet queued/serializing/propagating on any link, and
-// every RPC client out of budget with no request awaiting a response
-// or timeout.
+// empty, no packet queued/serializing/propagating on any link, no
+// handoff parked in a cross-domain mailbox, and every RPC client out
+// of budget with no request awaiting a response or timeout.
 func (cl *Cluster) Idle() bool {
+	for _, o := range cl.outboxes {
+		if o.Pending() != 0 {
+			return false
+		}
+	}
 	if !cl.DUT.idle() {
 		return false
 	}
@@ -224,6 +439,17 @@ func (cl *Cluster) Idle() bool {
 		}
 	}
 	return true
+}
+
+// Pending sums schedulable work across the whole cluster: every
+// domain's event queue plus cross-domain mailbox entries not yet
+// injected — so a sharded and an unsharded cluster agree on whether
+// anything is still in flight (a packet parked in a mailbox counts).
+func (cl *Cluster) Pending() int {
+	if cl.engine != nil {
+		return cl.engine.Pending()
+	}
+	return cl.Sim.Pending()
 }
 
 // links returns every fabric link in slot order (nil downlinks of
@@ -241,36 +467,107 @@ func (cl *Cluster) links() []*fnet.Link {
 	return ls
 }
 
-// Run starts the cluster (if needed) and executes until the horizon.
-func (cl *Cluster) Run(horizon sim.Duration) Results {
+// RunOpts selects how Cluster.Run executes.
+type RunOpts struct {
+	// Horizon bounds the run in simulated time.
+	Horizon sim.Duration
+	// UntilIdle stops early at the first 100 µs checkpoint where the
+	// topology has drained (all clients done, fabric, mailboxes and
+	// rings empty) — the natural mode for fixed request budgets. The
+	// checkpoint granularity is identical in sharded and unsharded
+	// runs, so both stop at the same instant.
+	UntilIdle bool
+}
+
+// Run starts the cluster (if needed) and executes to opts.Horizon —
+// on the single shared simulator when ClusterConfig.Shards <= 1, or
+// as conservative barrier epochs across the per-host domains when
+// sharded. It returns the collected results and the first structured
+// abort (watchdog trip, named by domain when sharded), nil on a
+// clean run.
+func (cl *Cluster) Run(opts RunOpts) (Results, error) {
+	if err := cl.validatePhases(); err != nil {
+		cl.phaseErr = err
+		return Results{}, err
+	}
 	cl.Start()
-	cl.Sim.RunUntil(sim.Time(horizon))
-	return cl.Collect()
+	if cl.engine == nil {
+		if opts.UntilIdle {
+			// The DUT's polling loops never terminate, so run in slices
+			// and stop when the topology has drained (see
+			// System.RunUntilIdle). A tripped watchdog stops the clock;
+			// keeping on slicing would spin through the horizon.
+			for t := sim.Duration(0); t < opts.Horizon; t += runStep {
+				cl.Sim.RunUntil(sim.Time(t + runStep))
+				if cl.Sim.Err() != nil || cl.Idle() {
+					break
+				}
+			}
+		} else {
+			cl.Sim.RunUntil(sim.Time(opts.Horizon))
+		}
+		return cl.Collect(), cl.Sim.Err()
+	}
+	var err error
+	if opts.UntilIdle {
+		// Mirror the slicing loop exactly: the effective end is the
+		// horizon rounded up to the next checkpoint, and idleness is
+		// evaluated only at checkpoint multiples.
+		eff := sim.Time(opts.Horizon)
+		if r := eff % sim.Time(runStep); r != 0 {
+			eff += sim.Time(runStep) - r
+		}
+		err = cl.engine.Run(eff, runStep, cl.Idle)
+	} else {
+		err = cl.engine.Run(sim.Time(opts.Horizon), 0, nil)
+	}
+	return cl.Collect(), err
+}
+
+// RunFor executes until the horizon.
+//
+// Deprecated: use Run(RunOpts{Horizon: horizon}).
+func (cl *Cluster) RunFor(horizon sim.Duration) Results {
+	r, _ := cl.Run(RunOpts{Horizon: horizon})
+	return r
 }
 
 // RunUntilIdle executes until the topology drains (all clients done,
-// fabric and rings empty), bounded by the horizon — the natural run
-// mode for a fixed request budget.
+// fabric and rings empty), bounded by the horizon.
+//
+// Deprecated: use Run(RunOpts{Horizon: horizon, UntilIdle: true}),
+// which also returns the structured abort directly.
 func (cl *Cluster) RunUntilIdle(horizon sim.Duration) Results {
-	cl.Start()
-	// The DUT's polling loops never terminate, so run in slices and
-	// stop when the topology has drained (see System.RunUntilIdle).
-	step := 100 * sim.Microsecond
-	for t := sim.Duration(0); t < horizon; t += step {
-		cl.Sim.RunUntil(sim.Time(t + step))
-		if cl.Sim.Err() != nil || cl.Idle() {
-			break
-		}
-	}
-	return cl.Collect()
+	r, _ := cl.Run(RunOpts{Horizon: horizon, UntilIdle: true})
+	return r
 }
 
-// Err reports a structured abort (watchdog trip) from the last run.
-func (cl *Cluster) Err() error { return cl.Sim.Err() }
+// Err reports a structured abort (watchdog trip, or a rejected
+// timeline-phase domain) from the last run.
+//
+// Deprecated: Run returns the abort directly.
+func (cl *Cluster) Err() error {
+	if cl.phaseErr != nil {
+		return cl.phaseErr
+	}
+	if cl.engine != nil {
+		return cl.engine.Err()
+	}
+	return cl.Sim.Err()
+}
 
 // Collect snapshots the DUT's results and attaches the fabric and RPC
-// summaries.
+// summaries. Run calls it; it remains exported for callers that need
+// to re-snapshot after a run.
 func (cl *Cluster) Collect() Results {
+	if cl.engine != nil {
+		// Rebuild the aggregate histogram from the per-domain ones;
+		// bucket merging reproduces shared recording exactly.
+		cl.Hist.Reset()
+		for _, c := range cl.Clients {
+			cl.Hist.Merge(c.Hist())
+		}
+	}
 	r := cl.DUT.Collect()
 	f := &FabricResults{Switch: cl.Switch.Stats()}
 	for _, l := range cl.links() {

@@ -124,6 +124,15 @@ type ClusterConfig struct {
 	// ServerLink is the server-side link template ("srv.down" into the
 	// DUT NIC, "srv.up" for responses).
 	ServerLink fnet.LinkConfig
+	// Shards partitions the cluster into parallel event domains, each
+	// advancing on its own goroutine and synchronized conservatively at
+	// link boundaries (lookahead = the minimum link propagation delay;
+	// see DESIGN.md "Sharded event domains"). 0 or 1 keep today's exact
+	// single-simulator run. N >= 2 gives the DUT and the switch one
+	// domain each and spreads the client hosts over the remaining N-2
+	// (at least one) domains. Results and stats output are
+	// byte-identical across shard counts; only wall-clock time changes.
+	Shards int
 }
 
 // DefaultClusterConfig builds a topology matching the paper's testbed
@@ -154,6 +163,26 @@ func (c ClusterConfig) Validate() error {
 	}
 	if c.ServerLink.RateBps <= 0 {
 		errs = append(errs, fmt.Errorf("idio: cluster server-link rate %d must be positive", c.ServerLink.RateBps))
+	}
+	if c.Shards < 0 {
+		errs = append(errs, fmt.Errorf("idio: cluster shards %d must be >= 0", c.Shards))
+	}
+	if c.Shards > 1 {
+		// Sharding is conservative PDES: the lookahead window is the
+		// minimum link propagation delay, and anything that samples or
+		// mutates cross-domain state mid-epoch cannot be supported.
+		if c.ClientLink.Delay <= 0 || c.ServerLink.Delay <= 0 {
+			errs = append(errs, fmt.Errorf("idio: sharded cluster needs positive link propagation delays (the conservative lookahead window)"))
+		}
+		if c.Host.Obs.TraceSampleN > 0 {
+			errs = append(errs, fmt.Errorf("idio: packet tracing requires Shards <= 1 (trace events interleave across domains)"))
+		}
+		if c.Host.Obs.MetricsInterval > 0 {
+			errs = append(errs, fmt.Errorf("idio: periodic metric snapshots require Shards <= 1 (the registry samples cross-domain state mid-run)"))
+		}
+		if c.Host.Faults.FabricRandomEnabled() {
+			errs = append(errs, fmt.Errorf("idio: random fabric fault injectors require Shards <= 1; use a deterministic fault Timeline"))
+		}
 	}
 	return errors.Join(errs...)
 }

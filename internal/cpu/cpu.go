@@ -452,7 +452,7 @@ func (c *Core) Start(s *sim.Simulator) {
 	switch c.cfg.Driver {
 	case DriverInterrupt:
 		for _, p := range c.env.Ports {
-			p.SetCompletionHook(c.id, c.interrupt)
+			p.OnCompletion(c.id, c.interrupt)
 		}
 		c.irqArmed = true
 	default:

@@ -341,7 +341,7 @@ func runChaosCell(opts ChaosOpts, pol idiocore.Policy) []ChaosRow {
 	})
 	reg.GaugeFunc("chaos.timeline_segments", func() float64 { return float64(len(segs)) })
 
-	cl.RunUntilIdle(opts.Horizon)
+	cl.Run(idio.RunOpts{Horizon: opts.Horizon, UntilIdle: true})
 
 	rows := make([]ChaosRow, 0, len(segs)+1)
 	prev := chaosSnap{}

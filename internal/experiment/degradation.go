@@ -166,7 +166,7 @@ func fabricDegradationCell(pol idiocore.Policy, rate float64, opts DegradationOp
 			Requests:    2048,
 		})
 	}
-	res := cl.RunUntilIdle(opts.Horizon)
+	res, _ := cl.Run(idio.RunOpts{Horizon: opts.Horizon, UntilIdle: true})
 
 	row := DegradationRow{
 		Policy:         pol,

@@ -135,7 +135,7 @@ func runRPCCell(opts RPCOpts, pol idiocore.Policy, mode fnet.Mode, loadGbps floa
 		}
 		cl.AddRPCClient(i, core, ccfg)
 	}
-	res := cl.RunUntilIdle(opts.Horizon)
+	res, _ := cl.Run(idio.RunOpts{Horizon: opts.Horizon, UntilIdle: true})
 
 	row := RPCRow{
 		Policy:      pol,

@@ -125,6 +125,14 @@ type Link struct {
 	// pktPool, when set, is the packet pool generators and clients
 	// feeding this link draw from (recycling through the fabric).
 	pktPool *pkt.Pool
+
+	// Cross-domain binding (BindCrossDomain): when xOut is non-nil the
+	// link is an event-domain edge — accepted packets are copied into
+	// the source domain's outbox instead of being scheduled into the
+	// destination's (foreign) simulator.
+	xOut     *Outbox
+	xDstSim  *sim.Simulator
+	xDstPool *pkt.Pool
 }
 
 // SetPacketPool installs the packet pool that traffic sources feeding
@@ -250,6 +258,16 @@ func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
 
 	deliverAt := end.Add(l.cfg.Delay)
 	s.AtArgNamed(end, "link-tx", linkTxEv, sim.Arg{Obj: l})
+	if l.xOut != nil {
+		// Event-domain edge: park the frame in the mailbox for the next
+		// barrier flush and keep the delivery-side accounting local via
+		// linkXDoneEv at the instant the far side receives it.
+		l.xOut.add(deliverAt, now, l, p)
+		s.AtArgNamed(deliverAt, "link-xdone", linkXDoneEv,
+			sim.Arg{Obj: l, U0: uint64(p.Len())})
+		p.Release()
+		return
+	}
 	s.AtArgNamed(deliverAt, "link-deliver", linkDeliverEv,
 		sim.Arg{Obj: l, Obj2: p, U0: uint64(now)})
 }

@@ -1,0 +1,170 @@
+// Cross-domain link plumbing: when a Cluster is sharded into multiple
+// event domains, links are the only legal edge between domains. The
+// source side of a bound link runs exactly the single-domain queueing,
+// serialization and accounting, but instead of scheduling the delivery
+// into a foreign simulator it copies the frame into its domain's
+// Outbox. At every epoch barrier the coordinator drains all outboxes,
+// sorts the accumulated entries by the canonical merge key
+// (deliveryTime, sendTime, srcDomain, srcSeq) and injects them into
+// the destination domains — so the destination observes deliveries in
+// the same order the single shared simulator would have produced.
+package net
+
+import (
+	"fmt"
+	"slices"
+
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// XEntry is one packet handed across an event-domain boundary.
+type XEntry struct {
+	// DeliverAt is when the packet reaches the far end (serialization
+	// end + propagation delay); SendAt is when the source accepted it.
+	DeliverAt sim.Time
+	SendAt    sim.Time
+	// Src and Idx complete the deterministic merge key: the producing
+	// domain's index and a per-outbox monotone sequence.
+	Src int
+	Idx uint64
+	// Link is the crossing edge; its destination endpoint, simulator
+	// and packet pool were fixed by BindCrossDomain.
+	Link *Link
+	// Seq and Arrival reproduce the packet's identity on the far side;
+	// Frame is a private copy of the bytes (the source packet returns
+	// to its own domain's pool at handoff).
+	Seq     uint64
+	Arrival int64
+	Frame   []byte
+
+	owner *Outbox
+}
+
+// Outbox accumulates one domain's outbound cross-domain handoffs
+// during an epoch. It is owned by the producing domain while an epoch
+// runs and by the barrier coordinator between epochs; it needs no
+// locking. Frame buffers are recycled through a free list, so the
+// steady state adds no allocations.
+type Outbox struct {
+	domain  int
+	entries []XEntry
+	spare   [][]byte
+	idx     uint64
+}
+
+// NewOutbox builds the mailbox for the domain with the given index.
+func NewOutbox(domain int) *Outbox { return &Outbox{domain: domain} }
+
+// Pending reports entries accumulated since the last Flush — handoffs
+// parked outside any simulator (sim.Domain.PendingExternal).
+func (o *Outbox) Pending() int { return len(o.entries) }
+
+// add copies p into the outbox. The caller releases p afterwards.
+func (o *Outbox) add(deliverAt, sendAt sim.Time, l *Link, p *pkt.Packet) {
+	var buf []byte
+	if n := len(o.spare); n > 0 {
+		buf = o.spare[n-1][:0]
+		o.spare = o.spare[:n-1]
+	}
+	buf = append(buf, p.Frame...)
+	o.entries = append(o.entries, XEntry{
+		DeliverAt: deliverAt, SendAt: sendAt,
+		Src: o.domain, Idx: o.idx,
+		Link: l, Seq: p.Seq, Arrival: p.ArrivalTimePS,
+		Frame: buf, owner: o,
+	})
+	o.idx++
+}
+
+// BindCrossDomain marks the link as an event-domain boundary: packets
+// it accepts are copied into the source domain's outbox and
+// re-materialized from the destination domain's packet pool when the
+// coordinator flushes the mailboxes. dstSim must be the simulator of
+// the domain owning the link's destination endpoint.
+func (l *Link) BindCrossDomain(out *Outbox, dstSim *sim.Simulator, dstPool *pkt.Pool) {
+	if out == nil || dstSim == nil || dstPool == nil {
+		panic(fmt.Sprintf("net: link %q cross-domain binding needs outbox, destination simulator and pool", l.cfg.Name))
+	}
+	l.xOut, l.xDstSim, l.xDstPool = out, dstSim, dstPool
+}
+
+// CrossDomain reports whether the link crosses an event-domain
+// boundary.
+func (l *Link) CrossDomain() bool { return l.xOut != nil }
+
+// Flush drains every outbox, sorts the union of their entries by the
+// canonical merge key and injects each as a delivery event into its
+// destination domain. Call only at an epoch barrier, with every
+// domain quiescent at a time strictly before the earliest DeliverAt
+// (the conservative lookahead guarantees this). scratch is reused
+// across barriers to keep the flush allocation-free.
+//
+// Key order (DeliverAt, SendAt, Src, Idx) reproduces the shared
+// simulator's same-instant FIFO: simultaneous deliveries sort by when
+// their sources accepted them, then by domain index (clients are
+// grouped in slot order), then by within-domain production order.
+func Flush(outboxes []*Outbox, scratch *[]XEntry) {
+	all := (*scratch)[:0]
+	for _, o := range outboxes {
+		all = append(all, o.entries...)
+		o.entries = o.entries[:0]
+	}
+	// slices.SortFunc, not sort.Slice: the generic sort neither boxes
+	// the slice nor builds a reflect-based swapper, keeping the barrier
+	// flush allocation-free.
+	slices.SortFunc(all, func(a, b XEntry) int {
+		switch {
+		case a.DeliverAt != b.DeliverAt:
+			return cmpOrder(a.DeliverAt < b.DeliverAt)
+		case a.SendAt != b.SendAt:
+			return cmpOrder(a.SendAt < b.SendAt)
+		case a.Src != b.Src:
+			return cmpOrder(a.Src < b.Src)
+		default:
+			return cmpOrder(a.Idx < b.Idx)
+		}
+	})
+	for i := range all {
+		e := &all[i]
+		l := e.Link
+		p := l.xDstPool.Get(len(e.Frame))
+		copy(p.Frame, e.Frame)
+		p.Seq = e.Seq
+		p.ArrivalTimePS = e.Arrival
+		l.xDstSim.AtArgNamed(e.DeliverAt, "xdom-deliver", xDeliverEv, sim.Arg{Obj: l, Obj2: p})
+		e.owner.spare = append(e.owner.spare, e.Frame)
+		e.Frame, e.owner, e.Link = nil, nil, nil
+	}
+	*scratch = all[:0]
+}
+
+// cmpOrder maps a strict less-than to the -1/+1 contract of
+// slices.SortFunc. The merge key is a total order (Idx is unique per
+// Src), so no two entries ever compare equal and the sort's
+// instability is unobservable.
+func cmpOrder(less bool) int {
+	if less {
+		return -1
+	}
+	return 1
+}
+
+// xDeliverEv hands a cross-domain packet to the destination endpoint.
+// It runs in the destination domain; the source side's delivery
+// accounting happened in linkXDoneEv at the same instant.
+func xDeliverEv(sm *sim.Simulator, a sim.Arg) {
+	l := a.Obj.(*Link)
+	l.dst.Receive(sm, a.Obj2.(*pkt.Packet))
+}
+
+// linkXDoneEv is the source-domain half of a cross-domain delivery:
+// the stats and in-flight accounting linkDeliverEv would have done,
+// scheduled at the same DeliverAt so Idle checks at barriers see the
+// packet as in flight until it has actually landed.
+func linkXDoneEv(_ *sim.Simulator, a sim.Arg) {
+	l := a.Obj.(*Link)
+	l.stats.Delivered++
+	l.stats.DeliveredBytes += a.U0
+	l.inflight--
+}

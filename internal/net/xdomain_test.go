@@ -1,0 +1,165 @@
+package net
+
+import (
+	"testing"
+
+	"idio/internal/pkt"
+	"idio/internal/sim"
+)
+
+// seqSink records the delivery order and timing of packets reaching a
+// cross-domain destination.
+type seqSink struct {
+	seqs []uint64
+	at   []sim.Time
+}
+
+func (k *seqSink) Receive(s *sim.Simulator, p *pkt.Packet) {
+	k.seqs = append(k.seqs, p.Seq)
+	k.at = append(k.at, s.Now())
+	p.Release()
+}
+
+// releaseSink frees every delivered packet without recording anything,
+// so allocation measurements see only the handoff machinery.
+type releaseSink struct{}
+
+func (releaseSink) Receive(_ *sim.Simulator, p *pkt.Packet) { p.Release() }
+
+// runEpochs mimics the engine's barrier loop for two simulators: run
+// both to each barrier, then flush the outboxes.
+func runEpochs(src, dst *sim.Simulator, horizon sim.Time, lookahead sim.Duration, outboxes []*Outbox, scratch *[]XEntry) {
+	for now := sim.Time(0); now < horizon; {
+		next := now + sim.Time(lookahead)
+		if next > horizon {
+			next = horizon
+		}
+		src.RunUntil(next)
+		dst.RunUntil(next)
+		Flush(outboxes, scratch)
+		now = next
+	}
+}
+
+// TestCrossDomainEquivalence runs the same offered load through an
+// in-domain link and a cross-domain one and demands identical link
+// stats, delivery order and delivery timing.
+func TestCrossDomainEquivalence(t *testing.T) {
+	const offered = 50
+	lcfg := LinkConfig{Name: "t", RateBps: 10e9, Delay: 2 * sim.Microsecond, QueueDepth: 16}
+	flow := testFlow(1514)
+
+	// Reference: one simulator, plain link.
+	refSim := sim.New()
+	refSink := &seqSink{}
+	ref := NewLink(lcfg, refSink)
+	offer(t, refSim, ref, flow, offered)
+	refSim.RunUntil(sim.Time(sim.Millisecond))
+
+	// Cross-domain: source and destination on separate simulators,
+	// handoffs through an outbox flushed at 2 µs barriers.
+	srcSim, dstSim := sim.New(), sim.New()
+	xSink := &seqSink{}
+	x := NewLink(lcfg, xSink)
+	x.BindCrossDomain(NewOutbox(0), dstSim, pkt.NewPool(0))
+	if !x.CrossDomain() {
+		t.Fatal("CrossDomain false after binding")
+	}
+	offer(t, srcSim, x, flow, offered)
+	var scratch []XEntry
+	runEpochs(srcSim, dstSim, sim.Time(sim.Millisecond), lcfg.Delay, []*Outbox{x.xOut}, &scratch)
+
+	if rs, xs := ref.Stats(), x.Stats(); rs != xs {
+		t.Fatalf("link stats diverge:\n  in-domain  %+v\n  cross-dom  %+v", rs, xs)
+	}
+	if len(refSink.seqs) != len(xSink.seqs) {
+		t.Fatalf("delivered %d cross-domain, want %d", len(xSink.seqs), len(refSink.seqs))
+	}
+	for i := range refSink.seqs {
+		if refSink.seqs[i] != xSink.seqs[i] || refSink.at[i] != xSink.at[i] {
+			t.Fatalf("delivery %d: got seq=%d at %v, want seq=%d at %v",
+				i, xSink.seqs[i], xSink.at[i], refSink.seqs[i], refSink.at[i])
+		}
+	}
+	if x.InFlight() != 0 {
+		t.Errorf("cross-domain link reports %d in flight after drain", x.InFlight())
+	}
+	if x.xOut.Pending() != 0 {
+		t.Errorf("outbox holds %d entries after drain", x.xOut.Pending())
+	}
+}
+
+// TestFlushMergeOrder checks the canonical merge key: same-instant
+// deliveries from different domains are injected in (SendAt, Src, Idx)
+// order, reproducing the shared simulator's FIFO.
+func TestFlushMergeOrder(t *testing.T) {
+	dstSim := sim.New()
+	pool := pkt.NewPool(0)
+	sink := &seqSink{}
+	mk := func(domain int) (*Link, *Outbox) {
+		l := NewLink(LinkConfig{Name: "x", RateBps: 100e9, Delay: sim.Microsecond}, sink)
+		out := NewOutbox(domain)
+		l.BindCrossDomain(out, dstSim, pool)
+		return l, out
+	}
+	l1, o1 := mk(1)
+	l2, o2 := mk(2)
+
+	at := sim.Time(10 * sim.Microsecond)
+	p := func(seq uint64) *pkt.Packet {
+		pk := pool.Get(64)
+		pk.Seq = seq
+		return pk
+	}
+	// Same DeliverAt everywhere. Entries added out of global order:
+	// domain 2 first, and within domain 1 a later SendAt before an
+	// earlier one from domain 2.
+	o2.add(at, 5, l2, p(20)) // key (10µs, 5, 2, 0)
+	o1.add(at, 7, l1, p(11)) // key (10µs, 7, 1, 0)
+	o1.add(at, 5, l1, p(10)) // key (10µs, 5, 1, 1)
+	o2.add(at, 7, l2, p(21)) // key (10µs, 7, 2, 1)
+
+	var scratch []XEntry
+	Flush([]*Outbox{o1, o2}, &scratch)
+	dstSim.RunUntil(at + 1)
+
+	want := []uint64{10, 20, 11, 21} // SendAt asc, then Src asc, then Idx asc
+	if len(sink.seqs) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(sink.seqs), len(want))
+	}
+	for i, w := range want {
+		if sink.seqs[i] != w {
+			t.Fatalf("merge order %v, want %v", sink.seqs, want)
+		}
+	}
+}
+
+// TestOutboxRecycling checks the steady state allocates nothing: frame
+// buffers return to the free list at flush, and the scratch slice is
+// reused across barriers.
+func TestOutboxRecycling(t *testing.T) {
+	dstSim := sim.New()
+	pool := pkt.NewPool(0)
+	l := NewLink(LinkConfig{Name: "x", RateBps: 100e9, Delay: sim.Microsecond}, releaseSink{})
+	out := NewOutbox(0)
+	l.BindCrossDomain(out, dstSim, pool)
+
+	var scratch []XEntry
+	// Warm up one barrier to size the free list and scratch.
+	p := pool.Get(256)
+	out.add(1, 0, l, p)
+	p.Release()
+	Flush([]*Outbox{out}, &scratch)
+	dstSim.RunUntil(2)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		q := pool.Get(256)
+		out.add(dstSim.Now()+1, dstSim.Now(), l, q)
+		q.Release()
+		Flush([]*Outbox{out}, &scratch)
+		dstSim.RunUntil(dstSim.Now() + 2)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state cross-domain handoff allocates %.1f/op, want 0", allocs)
+	}
+}

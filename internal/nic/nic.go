@@ -95,24 +95,17 @@ type NIC struct {
 	// transfer (shared across queues — one PCIe link).
 	engineFree sim.Time
 
-	// driverHooks are the per-queue completion interrupt handlers —
-	// the interrupt line for interrupt-mode drivers. Polling-mode
-	// drivers leave them nil. Exactly one per queue (SetCompletionHook
-	// replaces).
-	driverHooks []func(*sim.Simulator)
-	// completionHooks are additional per-queue observers registered
-	// through OnCompletion; they fire after the driver's handler, in
-	// registration order.
+	// completionHooks are the per-queue handlers registered through
+	// OnCompletion — the interrupt line for interrupt-mode drivers
+	// plus any observers — fired in registration order.
 	completionHooks [][]func(*sim.Simulator)
 
 	// linkDown, when true, drops every arriving packet (an injected
 	// link flap). In-flight DMA is unaffected, as on real hardware.
 	linkDown bool
 
-	// invariantHook is the single replaceable handler installed by the
-	// deprecated SetInvariantHook; invariantHooks are the appending
-	// OnInvariant registrations, fired after it.
-	invariantHook  func(error)
+	// invariantHooks are the OnInvariant registrations, fired in
+	// registration order on every invariant violation.
 	invariantHooks []func(error)
 
 	// obs receives the packet-journey trace events (rx, drop, dma)
@@ -145,7 +138,6 @@ func New(cfg Config, ly *mem.Layout, sink Sink, classifier *idiocore.Classifier,
 	}
 	n := &NIC{
 		cfg: cfg, sink: sink, classifier: classifier, flowdir: fd,
-		driverHooks:     make([]func(*sim.Simulator), cfg.NumQueues),
 		completionHooks: make([][]func(*sim.Simulator), cfg.NumQueues),
 		txRings:         make([]*TXRing, cfg.NumQueues),
 		layout:          ly,
@@ -157,28 +149,16 @@ func New(cfg Config, ly *mem.Layout, sink Sink, classifier *idiocore.Classifier,
 	return n
 }
 
-// OnCompletion registers an additional handler fired after each
-// descriptor write-back on queue q, in registration order, alongside
-// (and after) the driver's interrupt handler. This is the
-// observability-layer registration point; use System.OnCompletion to
-// register across ports.
+// OnCompletion registers a handler fired after each descriptor
+// write-back on queue q, in registration order. Interrupt-mode
+// drivers register their interrupt line here; observers compose by
+// registering alongside it (use System.OnCompletion to register
+// across ports).
 func (n *NIC) OnCompletion(q int, fn func(*sim.Simulator)) {
 	if fn == nil {
 		return
 	}
 	n.completionHooks[q] = append(n.completionHooks[q], fn)
-}
-
-// SetCompletionHook installs the queue's completion interrupt handler,
-// replacing any previously set handler (but leaving OnCompletion
-// registrations untouched).
-//
-// Deprecated: this remains the driver's installation point, but
-// observers that used it to piggyback on completions should register
-// through OnCompletion or System.OnCompletion, which compose instead
-// of clobbering.
-func (n *NIC) SetCompletionHook(q int, fn func(*sim.Simulator)) {
-	n.driverHooks[q] = fn
 }
 
 // SetObserver attaches the observability layer. A nil observer (the
@@ -254,25 +234,14 @@ func (n *NIC) OnInvariant(fn func(error)) {
 	n.invariantHooks = append(n.invariantHooks, fn)
 }
 
-// SetInvariantHook installs an observer called on every invariant
-// violation, replacing a previously Set handler (but leaving
-// OnInvariant registrations untouched).
-//
-// Deprecated: register through OnInvariant or System.OnInvariant,
-// which compose instead of clobbering.
-func (n *NIC) SetInvariantHook(fn func(error)) { n.invariantHook = fn }
-
 // invariant records an internal error on a named path and drops the
 // offending work instead of crashing the process. A faulted DMA must
 // degrade the run, not kill it.
 func (n *NIC) invariant(path string, err error) {
-	if n.stats.InvariantViolations++; n.invariantHook == nil && len(n.invariantHooks) == 0 {
+	if n.stats.InvariantViolations++; len(n.invariantHooks) == 0 {
 		return
 	}
 	werr := fmt.Errorf("nic: invariant violation on %s: %w", path, err)
-	if n.invariantHook != nil {
-		n.invariantHook(werr)
-	}
 	for _, fn := range n.invariantHooks {
 		fn(werr)
 	}
@@ -440,15 +409,12 @@ func dmaBurstEv(sm *sim.Simulator, a sim.Arg) {
 
 // descVisibleEv fires a descriptor write-back becoming visible to the
 // driver: Arg.Obj is the *Slot (which knows its ring and port), I0 the
-// queue. It completes the slot and runs the driver/completion hooks.
+// queue. It completes the slot and runs the completion hooks.
 func descVisibleEv(sm *sim.Simulator, a sim.Arg) {
 	slot := a.Obj.(*Slot)
 	n := slot.owner
 	coreID := a.I0
 	slot.ring.Complete(slot, sm.Now())
-	if hook := n.driverHooks[coreID]; hook != nil {
-		hook(sm)
-	}
 	for _, hook := range n.completionHooks[coreID] {
 		hook(sm)
 	}

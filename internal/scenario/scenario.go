@@ -23,6 +23,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -149,6 +150,11 @@ type Topology struct {
 	ClientLink TopoLink `json:"clientLink"`
 	ServerLink TopoLink `json:"serverLink"`
 	RPC        *RPCSpec `json:"rpc,omitempty"`
+	// Shards partitions the cluster into parallel event domains (see
+	// idio.ClusterConfig.Shards); 0 or 1 run everything on one
+	// simulator. Output is byte-identical either way. The -shards CLI
+	// flag overrides this field.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Scenario is the root document.
@@ -198,6 +204,10 @@ type ChaosPhase struct {
 	// Target selects the victim by attach order (link index, NIC port,
 	// or core).
 	Target int `json:"target,omitempty"`
+	// Domain optionally names the event domain expected to own the
+	// target in a sharded run ("dut", "switch", "clients.<g>"); a
+	// mismatch fails the run instead of perturbing the wrong domain.
+	Domain string `json:"domain,omitempty"`
 }
 
 // chaosTimeline converts the chaos section to fault phases.
@@ -214,6 +224,7 @@ func (sc Scenario) chaosTimeline() []fault.Phase {
 			Duration:  sim.Duration(p.DurationMS * float64(sim.Millisecond)),
 			Magnitude: p.Magnitude,
 			Target:    p.Target,
+			Domain:    p.Domain,
 		}
 	}
 	return tl
@@ -422,6 +433,10 @@ type RunOpts struct {
 	// MetricsInterval > 0 records a metric-registry snapshot at this
 	// period (see Results.MetricSeries).
 	MetricsInterval sim.Duration
+	// Shards overrides the topology's shard count when > 0 (so one
+	// scenario file can be run single-domain or sharded without edits).
+	// Ignored for single-host scenarios.
+	Shards int
 }
 
 // Run builds, executes, and summarises the scenario. It returns the
@@ -491,11 +506,16 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		cl  *idio.Cluster
 	)
 	if topo := sc.Topology; topo != nil {
+		shards := topo.Shards
+		if opts.Shards > 0 {
+			shards = opts.Shards
+		}
 		c, err := idio.NewCluster(idio.ClusterConfig{
 			Host:       cfg,
 			Clients:    topo.Clients,
 			ClientLink: topo.ClientLink.LinkConfig(),
 			ServerLink: topo.ServerLink.LinkConfig(),
+			Shards:     shards,
 		})
 		if err != nil {
 			return nil, idio.Results{}, 0, err
@@ -528,16 +548,21 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		nfCores = append(nfCores, nf.Core)
 		// With a topology, generator traffic enters through a client
 		// host's uplink and crosses the switch; single-host scenarios
-		// keep the historical direct injection into the NIC.
+		// keep the historical direct injection into the NIC. Generators
+		// schedule on the simulator owning their injection point — the
+		// client slot's domain when the cluster is sharded.
 		var target traffic.Receiver = sys.NIC
+		onSim := sys.Sim
 		if cl != nil {
-			target = cl.ClientIngress(i % sc.Topology.Clients)
+			slot := i % sc.Topology.Clients
+			target = cl.ClientIngress(slot)
+			onSim = cl.ClientSim(slot)
 		}
 		switch nf.Traffic.Kind {
 		case "steady":
 			traffic.Steady{
 				Flow: flow, RateBps: traffic.Gbps(nf.Traffic.Gbps), Count: nf.Traffic.Count,
-			}.Install(sys.Sim, target)
+			}.Install(onSim, target)
 		case "bursty":
 			period := nf.Traffic.PeriodMS
 			if period == 0 {
@@ -549,7 +574,7 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 				Period:          sim.Duration(period * float64(sim.Millisecond)),
 				PacketsPerBurst: nf.Traffic.PacketsPerBurst,
 				NumBursts:       nf.Traffic.NumBursts,
-			}.Install(sys.Sim, target)
+			}.Install(onSim, target)
 		}
 	}
 	if cl != nil && sc.Topology.RPC != nil {
@@ -573,7 +598,14 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 	horizon := sim.Duration(sc.HorizonMS * float64(sim.Millisecond))
 	var res idio.Results
 	if cl != nil {
-		res = cl.RunUntilIdle(horizon)
+		var rerr error
+		res, rerr = cl.Run(idio.RunOpts{Horizon: horizon, UntilIdle: true})
+		// Watchdog trips stay in Results.Aborted (degradation scenarios
+		// report them as data); configuration errors fail the run.
+		var wd *sim.WatchdogError
+		if rerr != nil && !errors.As(rerr, &wd) {
+			return nil, idio.Results{}, 0, rerr
+		}
 	} else {
 		res = sys.RunUntilIdle(horizon)
 	}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEngineEpochBarriers checks the conservative epoch loop: every
+// domain reaches each barrier before the flush runs, and flushed
+// injections land in the destination domain at their exact timestamps.
+func TestEngineEpochBarriers(t *testing.T) {
+	a, b := New(), New()
+	const W = 2 * Microsecond
+
+	// Domain a produces a handoff at every 3 µs tick; the flush
+	// delivers it to b at t+W, mimicking a cross-domain link.
+	type handoff struct{ deliverAt Time }
+	var mailbox []handoff
+	var delivered []Time
+	for i := 0; i < 5; i++ {
+		at := Time((i + 1) * 3 * int(Microsecond))
+		a.AtNamed(at, "produce", func(s *Simulator) {
+			mailbox = append(mailbox, handoff{deliverAt: s.Now() + Time(W)})
+		})
+	}
+	e := NewEngine(W, func() {
+		for _, h := range mailbox {
+			h := h
+			b.AtNamed(h.deliverAt, "deliver", func(s *Simulator) {
+				if s.Now() != h.deliverAt {
+					t.Errorf("delivery ran at %v, want %v", s.Now(), h.deliverAt)
+				}
+				delivered = append(delivered, s.Now())
+			})
+		}
+		mailbox = mailbox[:0]
+	})
+	e.AddDomain(&Domain{Name: "a", Sim: a})
+	e.AddDomain(&Domain{Name: "b", Sim: b})
+
+	if err := e.Run(Time(20*Microsecond), 0, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(delivered) != 5 {
+		t.Fatalf("delivered %d handoffs, want 5", len(delivered))
+	}
+	for i, at := range delivered {
+		want := Time((i+1)*3*int(Microsecond)) + Time(W)
+		if at != want {
+			t.Errorf("handoff %d delivered at %v, want %v", i, at, want)
+		}
+	}
+	if e.Now() != Time(20*Microsecond) {
+		t.Errorf("engine now %v, want horizon", e.Now())
+	}
+	if e.Epochs() != 10 { // 20 µs / 2 µs lookahead
+		t.Errorf("epochs %d, want 10", e.Epochs())
+	}
+}
+
+// TestEngineIdleStopsAtCheckpoint checks that the until-idle predicate
+// is consulted only at checkpoint multiples — the contract that keeps
+// sharded runs stopping at exactly the same instant as the
+// single-simulator 100 µs slicing loop.
+func TestEngineIdleStopsAtCheckpoint(t *testing.T) {
+	a := New()
+	done := false
+	a.AtNamed(Time(30*Microsecond), "finish", func(*Simulator) { done = true })
+
+	var checkedAt []Time
+	e := NewEngine(2*Microsecond, nil)
+	e.AddDomain(&Domain{Name: "a", Sim: a})
+	err := e.Run(Time(1*Millisecond), 100*Microsecond, func() bool {
+		checkedAt = append(checkedAt, e.Now())
+		return done
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Work finishes at 30 µs, so the first checkpoint (100 µs) already
+	// sees the system idle; the predicate must not have been consulted
+	// at any of the 2 µs epoch barriers before it.
+	if len(checkedAt) != 1 || checkedAt[0] != Time(100*Microsecond) {
+		t.Fatalf("idle checked at %v, want exactly [100µs]", checkedAt)
+	}
+	if e.Now() != Time(100*Microsecond) {
+		t.Errorf("engine stopped at %v, want the 100µs checkpoint", e.Now())
+	}
+}
+
+// TestEngineWatchdogAbort checks that a watchdog trip in any domain is
+// caught at the next barrier (RunUntil resets the error on entry, so a
+// checkpoint-only check would silently lose it) and is attributed to
+// the tripping domain by name.
+func TestEngineWatchdogAbort(t *testing.T) {
+	a, b := New(), New()
+	b.SetWatchdog(WatchdogConfig{MaxEventsPerInstant: 8})
+	// A zero-delay self-rescheduling event trips the no-progress
+	// detector partway through the run.
+	var spin func(s *Simulator)
+	spin = func(s *Simulator) { s.At(s.Now(), spin) }
+	b.AtNamed(Time(5*Microsecond), "spin", spin)
+
+	e := NewEngine(2*Microsecond, nil)
+	e.AddDomain(&Domain{Name: "dut", Sim: a})
+	e.AddDomain(&Domain{Name: "clients.0", Sim: b})
+	err := e.Run(Time(1*Millisecond), 0, nil)
+	if err == nil {
+		t.Fatal("Run returned nil, want watchdog abort")
+	}
+	var wd *WatchdogError
+	if !errors.As(err, &wd) {
+		t.Fatalf("Run error %v does not wrap *WatchdogError", err)
+	}
+	if !strings.Contains(err.Error(), "clients.0") {
+		t.Errorf("error %q does not name the tripping domain", err)
+	}
+	if e.Err() == nil {
+		t.Error("Err() nil after aborted run")
+	}
+	if e.Now() >= Time(1*Millisecond) {
+		t.Errorf("engine ran to horizon (%v) despite the abort", e.Now())
+	}
+}
+
+// TestEnginePending sums queued events and parked external handoffs.
+func TestEnginePending(t *testing.T) {
+	a, b := New(), New()
+	a.AtNamed(Time(Microsecond), "x", func(*Simulator) {})
+	parked := 3
+	e := NewEngine(Microsecond, nil)
+	e.AddDomain(&Domain{Name: "a", Sim: a, PendingExternal: func() int { return parked }})
+	e.AddDomain(&Domain{Name: "b", Sim: b})
+	if got := e.Pending(); got != 4 {
+		t.Fatalf("Pending = %d, want 4 (1 queued + 3 parked)", got)
+	}
+}
+
+// TestEngineLookaheadValidation rejects a non-positive window: with
+// zero lookahead a handoff could land inside the very epoch that
+// produced it, after its delivery time has already passed.
+func TestEngineLookaheadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine(0, nil) did not panic")
+		}
+	}()
+	NewEngine(0, nil)
+}

@@ -88,6 +88,40 @@ func (h *Histogram) Reset() {
 	h.sum = 0
 }
 
+// Merge folds o's samples into h by bucket addition. Both histograms
+// must use the same sub-bucket resolution. Because every tracked
+// quantity (bucket counts, total, exact sum/min/max) is
+// order-independent, merging per-domain histograms at collection time
+// reproduces exactly the state one shared histogram would have
+// reached recording the same samples — which is how a sharded cluster
+// keeps its aggregate latency percentiles byte-identical to the
+// single-domain run.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if o.subBits != h.subBits {
+		panic(fmt.Sprintf("stats: merging histograms with subBits %d and %d", o.subBits, h.subBits))
+	}
+	for len(h.counts) < len(o.counts) {
+		h.counts = append(h.counts, make([]uint64, 1<<h.subBits))
+	}
+	for mag := range o.counts {
+		row := h.counts[mag]
+		for sub, c := range o.counts[mag] {
+			row[sub] += c
+		}
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if h.min < 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() uint64 { return h.total }
 

@@ -12,6 +12,11 @@ go test -race ./internal/...
 GOMAXPROCS=2 go test -race ./internal/experiment
 GOMAXPROCS=2 go test -race ./internal/net
 GOMAXPROCS=2 go test -race ./internal/fault
+# Race pass over the sharded event-domain engine: the epoch barrier
+# handshake and cross-domain mailbox flushes are the only goroutine
+# synchronization in the simulator; drive them hard under the detector.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestEngine' ./internal/sim
+GOMAXPROCS=4 go test -race -count=1 -run 'TestClusterShard|TestClusterRunOpts' .
 go test -run '^$' -bench . -benchtime=1x ./...
 # Perf gate, part 1: the fused packet-lifecycle smoke must run, and the
 # steady-state loop must stay at zero heap allocations per packet —
@@ -31,7 +36,15 @@ go run ./cmd/obscheck "$obsdir/trace.json" "$obsdir/results.json"
 # be byte-identical between serial and parallel cell execution.
 go run ./cmd/idiosim -exp rpc -quick -j 2 > "$obsdir/rpc.txt"
 go run ./cmd/idiosim -exp rpc -quick -j 1 | cmp - "$obsdir/rpc.txt"
-go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json > /dev/null
+# Sharded smoke: the same scenario partitioned into 4 event domains
+# must produce byte-identical stdout and stats to the single-domain
+# run — the tentpole determinism guarantee, checked end to end.
+go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json \
+    -stats "$obsdir/rpc1.stats" > "$obsdir/rpc1.out"
+go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json -shards 4 \
+    -stats "$obsdir/rpc4.stats" > "$obsdir/rpc4.out"
+cmp "$obsdir/rpc1.out" "$obsdir/rpc4.out"
+cmp "$obsdir/rpc1.stats" "$obsdir/rpc4.stats"
 # Chaos smoke: the scripted fault timeline must run under both serial
 # and parallel cell execution with byte-identical tables, and the
 # chaos scenario's drained run must hold the pool-leak gate: a leak

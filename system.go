@@ -348,17 +348,15 @@ func (s *System) registerMetrics() {
 func (s *System) Observe() *obs.Observer { return s.obs }
 
 // OnCompletion registers an observer for RX descriptor-visible events
-// on one port's queue. Unlike the deprecated nic.SetCompletionHook
-// (which installs the single driver notification and replaces any
-// previous one), observers accumulate: every registered fn runs after
-// the driver hook.
+// on one port's queue. Observers accumulate and fire in registration
+// order; the interrupt-mode driver's handler registers through the
+// same path.
 func (s *System) OnCompletion(port, queue int, fn func(*sim.Simulator)) {
 	s.ports[port].OnCompletion(queue, fn)
 }
 
 // OnInvariant registers an observer for NIC model-invariant
-// violations on every port. Unlike the deprecated
-// nic.SetInvariantHook, observers accumulate.
+// violations on every port. Observers accumulate.
 func (s *System) OnInvariant(fn func(error)) {
 	for _, port := range s.ports {
 		port.OnInvariant(fn)
