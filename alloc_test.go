@@ -15,6 +15,7 @@ import (
 	"idio/internal/cpu"
 	fnet "idio/internal/net"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 	"idio/internal/traffic"
 )
@@ -153,6 +154,55 @@ func TestClusterAllocsPerRequest(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("%.2f allocs per %v slice (%d requests measured): the armed resilience stack must not allocate",
+			avg, step, reqs)
+	}
+}
+
+// TestClusterAllocsPerRequestQoS re-runs the steady-state allocation
+// gate with the full class pipeline armed: DSCP classification and
+// per-class RX counters in the NIC, class-quota placement, and the
+// strict-priority/WRR scheduler plus per-class queues on every switch
+// egress port. Class accounting must ride the fixed per-class arrays —
+// zero allocations per request.
+func TestClusterAllocsPerRequestQoS(t *testing.T) {
+	ccfg := idio.DefaultClusterConfig(1, 1)
+	ccfg.Host.Hier.MLCSize = benchMLC
+	ccfg.Host.Hier.LLCSize = benchLLC
+	ccfg.Host.NIC.RingSize = benchRing
+	ccfg.Host.Policy = idiocore.PolicyIDIO
+	ccfg.Host.Hier.TimelineBucket = 0
+	ccfg.ServerLink.AQMTarget = 50 * sim.Microsecond
+	ccfg.QoS = qos.DefaultConfig()
+	cl, err := idio.NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl.DUT.AddNF(0, apps.L2Fwd{}, cl.DUT.DefaultFlow(0))
+	clcfg := fnet.ClientConfig{
+		Mode: fnet.ModeClosed, Outstanding: 8, Requests: 1 << 30,
+	}
+	clcfg.Flow = cl.ClientFlow(0, 0)
+	clcfg.Flow.DSCP = 46 // ef: exercises the strict-priority path
+	c := cl.AddRPCClient(0, 0, clcfg)
+	cl.Start()
+
+	now := sim.Time(4 * sim.Millisecond)
+	cl.Sim.RunUntil(now)
+	warm := c.Responses()
+	if warm == 0 {
+		t.Fatal("warm-up answered no requests")
+	}
+	const step = 500 * sim.Microsecond
+	avg := testing.AllocsPerRun(100, func() {
+		now = now.Add(step)
+		cl.Sim.RunUntil(now)
+	})
+	reqs := c.Responses() - warm
+	if reqs == 0 {
+		t.Fatal("measured window answered no requests")
+	}
+	if avg != 0 {
+		t.Fatalf("%.2f allocs per %v slice (%d requests measured): the armed class pipeline must not allocate",
 			avg, step, reqs)
 	}
 }

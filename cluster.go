@@ -6,6 +6,7 @@ import (
 	"idio/internal/fault"
 	fnet "idio/internal/net"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 	"idio/internal/stats"
 	"idio/internal/traffic"
@@ -64,6 +65,12 @@ type Cluster struct {
 	cfg     ClusterConfig
 	started bool
 
+	// qosMap is the cluster-wide DSCP→class map when ClusterConfig.QoS
+	// is set (nil otherwise); clientClass records each RPC client's
+	// service class (parallel to Clients) for per-class Collect.
+	qosMap      *qos.Map
+	clientClass []qos.Class
+
 	// Sharded-mode state; engine is nil when Shards <= 1.
 	engine       *sim.Engine
 	doms         []*clusterDomain // [0]=dut, [1]=switch, [2..]=client groups
@@ -72,7 +79,6 @@ type Cluster struct {
 	faultLinkDom []int            // fault AttachLink order -> owning domain
 	outboxes     []*fnet.Outbox
 	flushScratch []fnet.XEntry
-	phaseErr     error
 }
 
 // clusterDomain is one event domain of a sharded cluster: a private
@@ -101,6 +107,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// A cluster-level QoS policy flows down into the host (NIC filter
+	// table, placement policy) unless the host already carries its own.
+	if cfg.QoS != nil && cfg.Host.QoS == nil {
+		cfg.Host.QoS = cfg.QoS
+	}
 	sm := sim.New()
 	dut, err := NewHostE(sm, cfg.Host)
 	if err != nil {
@@ -112,6 +123,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Switch: fnet.NewSwitch("sw0"),
 		Hist:   stats.NewHistogram(5),
 		cfg:    cfg,
+	}
+	if cfg.QoS != nil {
+		qm, err := cfg.QoS.BuildMap()
+		if err != nil {
+			return nil, err
+		}
+		cl.qosMap = qm
+		// Arm before any port attaches: every switch egress — the server
+		// downlink now, client downlinks as AddRPCClient creates them —
+		// replaces its FIFO with the scheduled per-class queues.
+		cl.Switch.ArmQoS(cfg.QoS, qm)
 	}
 	if cfg.Shards > 1 {
 		cl.buildDomains()
@@ -127,6 +149,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	down.Name = "srv.down"
 	cl.ServerDown = fnet.NewLink(down, dut.NIC)
 	cl.ServerDown.SetObserver(o)
+	// AddPort arms the link too (idempotently), but only after metrics
+	// registration below — arm here so the per-class keys land in the
+	// registry alongside the link's own.
+	if cl.qosMap != nil {
+		cl.ServerDown.ArmQoS(cfg.QoS, cl.qosMap)
+	}
 	cl.bindLink(cl.ServerDown, domSwitch, domDUT)
 	cl.ServerDown.RegisterMetrics(reg, "fabric.srv.down.")
 	cl.Switch.Route(ServerIP, cl.Switch.AddPort(cl.ServerDown))
@@ -348,6 +376,9 @@ func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Clien
 	lc.Name = fmt.Sprintf("c%d.down", i)
 	cl.ClientDown[i] = fnet.NewLink(lc, c)
 	cl.ClientDown[i].SetObserver(o)
+	if cl.qosMap != nil {
+		cl.ClientDown[i].ArmQoS(cl.cfg.QoS, cl.qosMap)
+	}
 	cl.bindLink(cl.ClientDown[i], domSwitch, cl.clientDomain(i))
 	cl.ClientDown[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.down.", i))
 	cl.Switch.Route(ccfg.Flow.Src, cl.Switch.AddPort(cl.ClientDown[i]))
@@ -359,6 +390,9 @@ func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Clien
 	c.RegisterMetrics(reg, fmt.Sprintf("rpc.c%d.", i))
 	cl.Clients = append(cl.Clients, c)
 	cl.clientSlots = append(cl.clientSlots, i)
+	if cl.qosMap != nil {
+		cl.clientClass = append(cl.clientClass, cl.qosMap.Class(ccfg.Flow.DSCP))
+	}
 	return c
 }
 
@@ -487,7 +521,6 @@ type RunOpts struct {
 // clean run.
 func (cl *Cluster) Run(opts RunOpts) (Results, error) {
 	if err := cl.validatePhases(); err != nil {
-		cl.phaseErr = err
 		return Results{}, err
 	}
 	cl.Start()
@@ -524,38 +557,6 @@ func (cl *Cluster) Run(opts RunOpts) (Results, error) {
 	return cl.Collect(), err
 }
 
-// RunFor executes until the horizon.
-//
-// Deprecated: use Run(RunOpts{Horizon: horizon}).
-func (cl *Cluster) RunFor(horizon sim.Duration) Results {
-	r, _ := cl.Run(RunOpts{Horizon: horizon})
-	return r
-}
-
-// RunUntilIdle executes until the topology drains (all clients done,
-// fabric and rings empty), bounded by the horizon.
-//
-// Deprecated: use Run(RunOpts{Horizon: horizon, UntilIdle: true}),
-// which also returns the structured abort directly.
-func (cl *Cluster) RunUntilIdle(horizon sim.Duration) Results {
-	r, _ := cl.Run(RunOpts{Horizon: horizon, UntilIdle: true})
-	return r
-}
-
-// Err reports a structured abort (watchdog trip, or a rejected
-// timeline-phase domain) from the last run.
-//
-// Deprecated: Run returns the abort directly.
-func (cl *Cluster) Err() error {
-	if cl.phaseErr != nil {
-		return cl.phaseErr
-	}
-	if cl.engine != nil {
-		return cl.engine.Err()
-	}
-	return cl.Sim.Err()
-}
-
 // Collect snapshots the DUT's results and attaches the fabric and RPC
 // summaries. Run calls it; it remains exported for callers that need
 // to re-snapshot after a run.
@@ -571,7 +572,16 @@ func (cl *Cluster) Collect() Results {
 	r := cl.DUT.Collect()
 	f := &FabricResults{Switch: cl.Switch.Stats()}
 	for _, l := range cl.links() {
-		f.Links = append(f.Links, LinkResult{Name: l.Name(), Stats: l.Stats()})
+		lr := LinkResult{Name: l.Name(), Stats: l.Stats()}
+		if l.QoSArmed() {
+			cs := l.ClassStats()
+			for c := range cs {
+				lr.Classes = append(lr.Classes, LinkClassResult{
+					Class: qos.Class(c).String(), Stats: cs[c],
+				})
+			}
+		}
+		f.Links = append(f.Links, lr)
 	}
 	r.Fabric = f
 	if len(cl.Clients) > 0 {
@@ -601,7 +611,54 @@ func (cl *Cluster) Collect() Results {
 			rpc.P99 = cl.Hist.Quantile(0.99)
 			rpc.P999 = cl.Hist.Quantile(0.999)
 		}
+		if cl.qosMap != nil {
+			rpc.Classes = cl.collectClasses()
+		}
 		r.RPC = rpc
 	}
 	return r
+}
+
+// collectClasses builds the per-service-class RPC summary by grouping
+// clients on their (Collect-time) class and merging their private
+// latency histograms — bucket addition is order-independent, so the
+// result is identical across shard counts. Classes with no clients are
+// omitted.
+func (cl *Cluster) collectClasses() []RPCClassResult {
+	var out []RPCClassResult
+	for class := 0; class < qos.NumClasses; class++ {
+		cr := RPCClassResult{Class: qos.Class(class).String()}
+		h := stats.NewHistogram(5)
+		var rxBytes uint64
+		var first, last sim.Time
+		for j, c := range cl.Clients {
+			if int(cl.clientClass[j]) != class {
+				continue
+			}
+			st := c.Stats()
+			cr.Clients++
+			cr.Issued += st.Issued
+			cr.Responses += st.Responses
+			cr.Timeouts += st.Timeouts
+			rxBytes += c.RxBytes()
+			if fs := c.FirstSend(); cr.Clients == 1 || fs < first {
+				first = fs
+			}
+			if lr := c.LastResp(); lr > last {
+				last = lr
+			}
+			h.Merge(c.Hist())
+		}
+		if cr.Clients == 0 {
+			continue
+		}
+		cr.GoodputBps = fnet.GoodputBps(rxBytes, first, last)
+		if h.Count() > 0 {
+			cr.P50 = h.Quantile(0.50)
+			cr.P99 = h.Quantile(0.99)
+			cr.P999 = h.Quantile(0.999)
+		}
+		out = append(out, cr)
+	}
+	return out
 }

@@ -29,8 +29,8 @@ func runThreeClientCluster(t *testing.T, pol core.Policy) (Results, []byte) {
 			Mode: fnet.ModeClosed, Outstanding: 8, Requests: 512,
 		})
 	}
-	res := cl.RunUntilIdle(20 * sim.Millisecond)
-	if err := cl.Err(); err != nil {
+	res, err := cl.Run(RunOpts{Horizon: 20 * sim.Millisecond, UntilIdle: true})
+	if err != nil {
 		t.Fatalf("cluster run: %v", err)
 	}
 	// Every request and echoed response draws from the host pool; a

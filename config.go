@@ -28,6 +28,7 @@ import (
 	fnet "idio/internal/net"
 	"idio/internal/nic"
 	"idio/internal/obs"
+	"idio/internal/qos"
 	"idio/internal/sim"
 )
 
@@ -75,6 +76,14 @@ type Config struct {
 	// watchdog stops the run and surfaces a *sim.WatchdogError via
 	// System.Err and Results.Aborted.
 	Watchdog *sim.WatchdogConfig
+	// QoS, when non-nil, arms service-class-aware orchestration on the
+	// host: the DSCP→class map is installed in every NIC port's filter
+	// table, each class's LLC way quota / prefetch aggressiveness /
+	// direct-to-DRAM policy applies at DMA placement time, and
+	// per-class RX counters appear in the obs registry. Nil (the
+	// default) leaves every packet class 0 and the data plane
+	// byte-identical to pre-QoS builds.
+	QoS *qos.Config
 	// Obs configures the observability layer: Obs.TraceSampleN > 0
 	// enables the structured packet-journey tracer (attach a sink via
 	// System.Observe().SetSink), Obs.MetricsInterval > 0 enables
@@ -124,6 +133,14 @@ type ClusterConfig struct {
 	// ServerLink is the server-side link template ("srv.down" into the
 	// DUT NIC, "srv.up" for responses).
 	ServerLink fnet.LinkConfig
+	// QoS, when non-nil, arms the full class pipeline across the
+	// cluster: the Host config inherits it (unless Host.QoS is already
+	// set), and every switch egress port replaces its single FIFO with
+	// per-class queues under a strict-priority + weighted-round-robin
+	// scheduler. Collect then reports per-class RPC latency, goodput,
+	// and drop breakdowns. Nil keeps the single-class fabric and the
+	// exact historical outputs.
+	QoS *qos.Config
 	// Shards partitions the cluster into parallel event domains, each
 	// advancing on its own goroutine and synchronized conservatively at
 	// link boundaries (lookahead = the minimum link propagation delay;
@@ -166,6 +183,11 @@ func (c ClusterConfig) Validate() error {
 	}
 	if c.Shards < 0 {
 		errs = append(errs, fmt.Errorf("idio: cluster shards %d must be >= 0", c.Shards))
+	}
+	if c.QoS != nil {
+		if err := c.QoS.Validate(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if c.Shards > 1 {
 		// Sharding is conservative PDES: the lookahead window is the

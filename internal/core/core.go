@@ -274,6 +274,16 @@ type Controller struct {
 	// out-of-range destination core (corrupted TLP bits); they fall
 	// back to the default DDIO placement.
 	MisSteers uint64
+
+	// qosArmed enables per-service-class steering overrides; the
+	// arrays index by the TLP's 2-bit QoS field. Disarmed (the
+	// default), class bits are ignored and Steer behaves exactly as
+	// before.
+	qosArmed      bool
+	qosDirectDRAM [4]bool
+	// QoSDRAMCount counts payload lines sent direct-to-DRAM by class
+	// policy (a subset of SteerDRAMCount).
+	QoSDRAMCount uint64
 }
 
 // NewController builds a controller for the given policy.
@@ -316,6 +326,15 @@ func (c *Controller) StatusMLC(core int) bool {
 // FSMState exposes the raw 2-bit counter (testing/telemetry).
 func (c *Controller) FSMState(core int) int { return c.fsmState[core] }
 
+// SetQoSPolicy arms per-class steering: classes flagged directDRAM
+// have their payload lines bypass the cache hierarchy regardless of
+// burst state. Headers keep the normal path so descriptors and
+// protocol headers stay pollable from cache.
+func (c *Controller) SetQoSPolicy(directDRAM [4]bool) {
+	c.qosArmed = true
+	c.qosDirectDRAM = directDRAM
+}
+
 // MLCWBAvg exposes the rolling average (testing/telemetry).
 func (c *Controller) MLCWBAvg(core int) uint64 { return c.mlcWBAvg[core] }
 
@@ -338,6 +357,14 @@ func (c *Controller) Steer(m pcie.Meta) Steering {
 			c.BurstResets++
 		}
 		c.fsmState[m.DestCore] = fsmMin
+	}
+	// Scavenger-class payload bypasses the caches when QoS is armed;
+	// headers keep the normal path (lines 4-5 below) so the polling
+	// driver still finds descriptors and headers on chip.
+	if c.qosArmed && !m.IsHeader && c.qosDirectDRAM[m.QoS&3] {
+		c.QoSDRAMCount++
+		c.SteerDRAMCount++
+		return SteerDRAM
 	}
 	switch {
 	// Lines 4-5: headers always go toward the MLC.
@@ -557,6 +584,15 @@ type Prefetcher struct {
 	HintsDropped uint64
 	Issued       uint64
 	Throttled    uint64 // adaptive pauses taken
+
+	// classEvery decimates hints per QoS class (HintClass): 0 or 1
+	// hints every line, N>1 every Nth line, -1 never. classSeen is
+	// the per-class line counter driving the stride; ClassSuppressed
+	// counts hints dropped by class policy (distinct from queue-full
+	// HintsDropped).
+	classEvery      [4]int
+	classSeen       [4]uint64
+	ClassSuppressed uint64
 }
 
 // NewPrefetcher builds a prefetcher for coreID.
@@ -598,6 +634,29 @@ func (p *Prefetcher) Hint(s *sim.Simulator, line uint64) {
 		p.busy = true
 		s.After(p.cfg.IssueInterval, p.issueFn)
 	}
+}
+
+// SetClassEvery installs per-QoS-class hint decimation strides (see
+// classEvery). The zero array keeps every class at full aggressiveness.
+func (p *Prefetcher) SetClassEvery(every [4]int) { p.classEvery = every }
+
+// HintClass is Hint under a class's aggressiveness policy: scavenger
+// classes (stride -1) never hint, decimated classes (stride N>1) hint
+// every Nth line. Class 0 with no policy set behaves exactly as Hint.
+func (p *Prefetcher) HintClass(s *sim.Simulator, line uint64, class uint8) {
+	every := p.classEvery[class&3]
+	if every < 0 {
+		p.ClassSuppressed++
+		return
+	}
+	if every > 1 {
+		p.classSeen[class&3]++
+		if p.classSeen[class&3]%uint64(every) != 0 {
+			p.ClassSuppressed++
+			return
+		}
+	}
+	p.Hint(s, line)
 }
 
 func (p *Prefetcher) issue(s *sim.Simulator) {

@@ -182,6 +182,10 @@ type Hierarchy struct {
 
 	ddioMask cache.WayMask
 	appMask  cache.WayMask
+	// classMask holds per-QoS-class DDIO way quotas (index =
+	// qos.Class); a zero mask falls back to the host-wide ddioMask,
+	// so an unarmed hierarchy behaves exactly as before.
+	classMask [4]cache.WayMask
 
 	l1Lat, mlcLat, llcLat sim.Duration
 
@@ -285,6 +289,24 @@ func (h *Hierarchy) SetDDIOWays(n int) {
 
 // DDIOWays returns the current DDIO way count.
 func (h *Hierarchy) DDIOWays() int { return h.ddioMask.Count() }
+
+// SetClassDDIOWays gives one QoS class a private DDIO way quota:
+// inbound DMA carrying that class write-allocates only into the first
+// n LLC ways. n = 0 clears the quota (the class reverts to the
+// host-wide DDIO mask).
+func (h *Hierarchy) SetClassDDIOWays(class, n int) {
+	if class < 0 || class >= len(h.classMask) {
+		panic(fmt.Sprintf("hier: qos class %d out of range", class))
+	}
+	if n == 0 {
+		h.classMask[class] = 0
+		return
+	}
+	if n < 0 || n > h.cfg.LLCAssoc {
+		panic(fmt.Sprintf("hier: class DDIO ways %d out of range for %d-way LLC", n, h.cfg.LLCAssoc))
+	}
+	h.classMask[class] = cache.FirstN(n)
+}
 
 // LLCWBIOCount returns the cumulative DMA-leak count (I/O-classified
 // LLC writebacks) — the signal dynamic DDIO policies monitor.
@@ -463,6 +485,21 @@ func (h *Hierarchy) backInvalidate(now sim.Time, core int, la uint64) {
 // DDIO ingress flow of Fig. 1 and returns the latency charged to the
 // DMA engine.
 func (h *Hierarchy) PCIeWrite(now sim.Time, line mem.LineAddr) sim.Duration {
+	return h.pcieWriteMask(now, line, h.ddioMask)
+}
+
+// PCIeWriteClass is PCIeWrite under a QoS class's way quota: the
+// write-allocate is confined to the class's mask when one is set,
+// falling back to the host-wide DDIO mask otherwise.
+func (h *Hierarchy) PCIeWriteClass(now sim.Time, line mem.LineAddr, class int) sim.Duration {
+	mask := h.ddioMask
+	if class >= 0 && class < len(h.classMask) && h.classMask[class] != 0 {
+		mask = h.classMask[class]
+	}
+	return h.pcieWriteMask(now, line, mask)
+}
+
+func (h *Hierarchy) pcieWriteMask(now sim.Time, line mem.LineAddr, mask cache.WayMask) sim.Duration {
 	la := uint64(line)
 	if h.DMAReqTL != nil {
 		h.DMAReqTL.Record(now, 1)
@@ -478,7 +515,7 @@ func (h *Hierarchy) PCIeWrite(now sim.Time, line mem.LineAddr) sim.Duration {
 		return h.llcLat
 	}
 	// Write-allocate into the DDIO ways (P1-2/P5-1 in Fig. 1).
-	v, ev := h.llc.Insert(la, true, true, h.ddioMask)
+	v, ev := h.llc.Insert(la, true, true, mask)
 	if ev && v.Dirty {
 		h.llcWriteback(now, v)
 	}

@@ -133,6 +133,11 @@ type Link struct {
 	xOut     *Outbox
 	xDstSim  *sim.Simulator
 	xDstPool *pkt.Pool
+
+	// qs, when non-nil, switches the egress to scheduled mode: per-class
+	// queues under a strict-priority + WRR scheduler (see qsched.go).
+	// Nil keeps the exact single-FIFO path below.
+	qs *linkSched
 }
 
 // SetPacketPool installs the packet pool that traffic sources feeding
@@ -217,6 +222,10 @@ func (l *Link) txTime(n int) sim.Duration {
 // link is down, and otherwise delivered to the destination after
 // queueing + serialization + propagation.
 func (l *Link) Receive(s *sim.Simulator, p *pkt.Packet) {
+	if l.qs != nil {
+		l.receiveScheduled(s, p)
+		return
+	}
 	now := s.Now()
 	if l.down {
 		l.stats.DownDrops++
@@ -358,4 +367,7 @@ func (l *Link) RegisterMetrics(reg *obs.Registry, prefix string) {
 	}
 	reg.GaugeFunc(prefix+"queue_hwm", func() float64 { return float64(l.stats.QueueHighWater) })
 	reg.GaugeFunc(prefix+"busy_us", func() float64 { return l.stats.BusyTime.Microseconds() })
+	if l.qs != nil {
+		l.registerClassMetrics(reg, prefix)
+	}
 }

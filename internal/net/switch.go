@@ -5,6 +5,7 @@ import (
 
 	"idio/internal/obs"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 )
 
@@ -29,6 +30,11 @@ type Switch struct {
 	routes map[pkt.IPv4]int
 	stats  SwitchStats
 	obs    *obs.Observer
+
+	// qosCfg/qosMap, when set via ArmQoS, arm scheduled egress on
+	// every output port — including ports attached afterwards.
+	qosCfg *qos.Config
+	qosMap *qos.Map
 }
 
 // NewSwitch builds an empty switch.
@@ -50,6 +56,9 @@ func (sw *Switch) SetObserver(o *obs.Observer) { sw.obs = o }
 func (sw *Switch) AddPort(out *Link) int {
 	if out == nil {
 		panic(fmt.Sprintf("net: switch %q port needs a link", sw.name))
+	}
+	if sw.qosCfg != nil {
+		out.ArmQoS(sw.qosCfg, sw.qosMap)
 	}
 	sw.ports = append(sw.ports, out)
 	return len(sw.ports) - 1

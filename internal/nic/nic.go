@@ -12,6 +12,7 @@ import (
 	"idio/internal/obs"
 	"idio/internal/pcie"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 )
 
@@ -125,6 +126,14 @@ type NIC struct {
 	// the heap. The System installs its per-host pool here.
 	pktPool *pkt.Pool
 
+	// qosMap, when set, is the DSCP→class filter-table entry: every
+	// admitted packet's class is cached in its slot, carried in the
+	// DMA TLP metadata, and counted per class. Nil (the default)
+	// leaves every packet class 0 — the exact pre-QoS data plane.
+	qosMap       *qos.Map
+	classRxPkts  [qos.NumClasses]uint64
+	classRxBytes [qos.NumClasses]uint64
+
 	stats Stats
 }
 
@@ -191,6 +200,16 @@ func (n *NIC) SetPacketPool(p *pkt.Pool) { n.pktPool = p }
 // PacketPool exposes the port's packet pool to traffic generators
 // (implements traffic.PacketPooler).
 func (n *NIC) PacketPool() *pkt.Pool { return n.pktPool }
+
+// SetQoSMap installs the DSCP→class map in the filter table (nil
+// disarms class mapping; every packet reverts to class 0).
+func (n *NIC) SetQoSMap(m *qos.Map) { n.qosMap = m }
+
+// ClassRx returns the per-class admitted packet and byte counters
+// (all zero without a QoS map installed).
+func (n *NIC) ClassRx() (pkts, bytes [qos.NumClasses]uint64) {
+	return n.classRxPkts, n.classRxBytes
+}
 
 // Ring returns queue q's descriptor ring.
 func (n *NIC) Ring(q int) *Ring { return n.rings[q] }
@@ -314,6 +333,14 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	appClass := n.classifier.AppClass(fields.DSCP)
 	inBurst := n.classifier.AccountPacket(now, coreID, p.Len())
 	slot.AppClass = appClass
+	// Slots are recycled without clearing, so the class is always
+	// (re)stamped here: 0 when no map is installed.
+	slot.QoS = 0
+	if n.qosMap != nil {
+		slot.QoS = uint8(n.qosMap.Class(fields.DSCP))
+		n.classRxPkts[slot.QoS]++
+		n.classRxBytes[slot.QoS] += uint64(p.Len())
+	}
 
 	payload := slot.PayloadRegion()
 	nLines := payload.NumLines()
@@ -383,6 +410,7 @@ func dmaBurstEv(sm *sim.Simulator, a sim.Arg) {
 			lineAddr = firstDesc + uint64(idx-nLines)
 		}
 		meta := n.classifier.Tag(slot.AppClass, coreID, idx == 0, inBurst)
+		meta.QoS = slot.QoS
 		tlp, err := pcie.NewWriteTLP(lineAddr, meta)
 		if err != nil {
 			// The line's DMA is skipped; the packet degrades rather

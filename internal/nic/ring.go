@@ -34,6 +34,9 @@ type Slot struct {
 	ready   bool
 	// AppClass as classified on arrival (cached for the CPU model).
 	AppClass uint8
+	// QoS is the service class mapped from the DSCP on arrival
+	// (always 0 when no QoS map is installed).
+	QoS uint8
 }
 
 // PayloadRegion returns the buffer subregion actually holding data.

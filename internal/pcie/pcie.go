@@ -31,6 +31,14 @@ var destCoreBits = [6]uint{23, 19, 18, 17, 16, 11}
 const (
 	isHeaderBit = 31
 	isBurstBit  = 10
+	// qosShift places the 2-bit service class in DW0 bits 9:8. Class 0
+	// (EF / unclassified) encodes as zero bits, so a data plane without
+	// QoS armed emits the exact pre-QoS DW0 values. These bits are
+	// deliberately absent from MetaBits: fault injectors keep flipping
+	// the same historical bit set.
+	qosShift = 8
+	// MaxQoSClass bounds the encodable service class.
+	MaxQoSClass = 3
 )
 
 // Meta is the IDIO classifier metadata carried by one DMA transaction
@@ -45,6 +53,9 @@ type Meta struct {
 	IsBurst bool
 	// DestCore is the consuming core (meaningful for AppClass 0).
 	DestCore int
+	// QoS is the service class mapped from the packet's DSCP (bits
+	// 9:8; 0 = EF or unclassified).
+	QoS uint8
 }
 
 // EncodeDW0 packs the metadata into the reserved bits of a TLP DW0.
@@ -71,6 +82,10 @@ func EncodeDW0(m Meta) (uint32, error) {
 	if m.IsBurst {
 		dw |= 1 << isBurstBit
 	}
+	if m.QoS > MaxQoSClass {
+		return 0, fmt.Errorf("pcie: qos class %d out of range [0,%d]", m.QoS, MaxQoSClass)
+	}
+	dw |= uint32(m.QoS) << qosShift
 	return dw, nil
 }
 
@@ -85,6 +100,7 @@ func DecodeDW0(dw uint32) Meta {
 	m := Meta{
 		IsHeader: dw&(1<<isHeaderBit) != 0,
 		IsBurst:  dw&(1<<isBurstBit) != 0,
+		QoS:      uint8(dw>>qosShift) & MaxQoSClass,
 	}
 	if core == classOneCore {
 		m.AppClass = 1

@@ -34,6 +34,7 @@ import (
 	"idio/internal/fault"
 	fnet "idio/internal/net"
 	"idio/internal/obs"
+	"idio/internal/qos"
 	"idio/internal/sim"
 	"idio/internal/traffic"
 )
@@ -180,6 +181,10 @@ type Scenario struct {
 	Antagonist *Antagonist `json:"antagonist,omitempty"`
 	Topology   *Topology   `json:"topology,omitempty"`
 
+	// QoS arms the service-class pipeline; omit for the single-class
+	// legacy data plane (see QoSSpec).
+	QoS *QoSSpec `json:"qos,omitempty"`
+
 	// Chaos schedules deterministic fault phases (fault.Phase) across
 	// the run. Fabric-layer phases need a topology section: Target
 	// indexes the fabric links in attach order (0 = server downlink,
@@ -189,6 +194,87 @@ type Scenario struct {
 	// AdmissionWatermark > 0 enables DUT admission control: packets
 	// steered to an RX ring at or above this occupancy are shed.
 	AdmissionWatermark int `json:"admissionWatermark,omitempty"`
+}
+
+// QoSSpec arms the service-class pipeline (internal/qos): the DSCP→
+// class map in the NIC filter table, per-class placement policy (LLC
+// way quota, prefetch stride, direct-to-DRAM), and — with a topology —
+// the strict-priority/WRR scheduler on every switch egress port.
+// Omitting the section keeps the single-class data plane and
+// byte-identical legacy outputs.
+type QoSSpec struct {
+	// Classes overrides individual classes of the default policy by
+	// name ("ef", "af41", "af21", "cs1"); omitted classes and omitted
+	// fields keep their defaults.
+	Classes []QoSClassSpec `json:"classes,omitempty"`
+	// QuantumBytes is the WRR byte quantum per weight unit (0 = 2048).
+	QuantumBytes int `json:"quantumBytes,omitempty"`
+	// ClientDSCPs assigns request-flow DSCPs to topology RPC clients
+	// round-robin, mixing service classes across client hosts. Empty
+	// leaves every client at DSCP 0 (the default class).
+	ClientDSCPs []uint8 `json:"clientDSCPs,omitempty"`
+}
+
+// QoSClassSpec overrides one service class's policy. Pointer fields
+// distinguish "set to zero" from "keep the default".
+type QoSClassSpec struct {
+	Class         string  `json:"class"`
+	DSCPs         []uint8 `json:"dscps,omitempty"`
+	Priority      *bool   `json:"priority,omitempty"`
+	Weight        *int    `json:"weight,omitempty"`
+	Queue         int     `json:"queue,omitempty"`
+	LLCWays       *int    `json:"llcWays,omitempty"`
+	PrefetchEvery *int    `json:"prefetchEvery,omitempty"`
+	DirectDRAM    *bool   `json:"directDRAM,omitempty"`
+}
+
+// qosClassIndex resolves a class name to its index.
+func qosClassIndex(name string) (int, error) {
+	for c := 0; c < qos.NumClasses; c++ {
+		if qos.Class(c).String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown qos class %q (want ef, af41, af21, or cs1)", name)
+}
+
+// config compiles the spec into the policy table: the default
+// four-class policy with the listed overrides applied.
+func (q *QoSSpec) config() (*qos.Config, error) {
+	cfg := qos.DefaultConfig()
+	cfg.Quantum = q.QuantumBytes
+	for _, cs := range q.Classes {
+		ci, err := qosClassIndex(cs.Class)
+		if err != nil {
+			return nil, err
+		}
+		p := &cfg.Classes[ci]
+		if cs.DSCPs != nil {
+			p.DSCPs = cs.DSCPs
+		}
+		if cs.Priority != nil {
+			p.Priority = *cs.Priority
+		}
+		if cs.Weight != nil {
+			p.Weight = *cs.Weight
+		}
+		if cs.Queue > 0 {
+			p.QueueDepth = cs.Queue
+		}
+		if cs.LLCWays != nil {
+			p.LLCWays = *cs.LLCWays
+		}
+		if cs.PrefetchEvery != nil {
+			p.PrefetchEvery = *cs.PrefetchEvery
+		}
+		if cs.DirectDRAM != nil {
+			p.DirectDRAM = *cs.DirectDRAM
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
 }
 
 // ChaosPhase is the JSON form of one scheduled fault phase.
@@ -345,6 +431,14 @@ func (sc Scenario) Validate() error {
 	if sc.AdmissionWatermark < 0 {
 		return fmt.Errorf("scenario %q: admissionWatermark must be >= 0, got %d", sc.Name, sc.AdmissionWatermark)
 	}
+	if sc.QoS != nil {
+		if _, err := sc.QoS.config(); err != nil {
+			return fmt.Errorf("scenario %q: qos: %w", sc.Name, err)
+		}
+		if len(sc.QoS.ClientDSCPs) > 0 && (sc.Topology == nil || sc.Topology.RPC == nil) {
+			return fmt.Errorf("scenario %q: qos clientDSCPs need a topology rpc section", sc.Name)
+		}
+	}
 	if len(sc.Chaos) > 0 {
 		// Delegate phase-shape checks (unknown layer/kind, negative
 		// start, non-positive duration, overlapping same-target phases,
@@ -498,6 +592,13 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 	}
 	cfg.Obs.TraceSampleN = opts.TraceSampleN
 	cfg.Obs.MetricsInterval = opts.MetricsInterval
+	var qcfg *qos.Config
+	if sc.QoS != nil {
+		var err error
+		if qcfg, err = sc.QoS.config(); err != nil {
+			return nil, idio.Results{}, 0, err
+		}
+	}
 
 	// A topology section switches the run from a bare System to a
 	// Cluster: same DUT, but traffic reaches it over the fabric.
@@ -515,6 +616,7 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 			Clients:    topo.Clients,
 			ClientLink: topo.ClientLink.LinkConfig(),
 			ServerLink: topo.ServerLink.LinkConfig(),
+			QoS:        qcfg,
 			Shards:     shards,
 		})
 		if err != nil {
@@ -522,6 +624,10 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		}
 		cl, sys = c, c.DUT
 	} else {
+		// Single-host: the placement-side policy still applies (filter
+		// table, way quotas, prefetch strides); there is no fabric to
+		// schedule.
+		cfg.QoS = qcfg
 		sys = idio.NewSystem(cfg)
 	}
 	if opts.TraceSink != nil {
@@ -578,7 +684,7 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		}
 	}
 	if cl != nil && sc.Topology.RPC != nil {
-		if err := installRPCClients(cl, sc.Topology, nfCores); err != nil {
+		if err := installRPCClients(cl, sc.Topology, sc.QoS, nfCores); err != nil {
 			return nil, idio.Results{}, 0, err
 		}
 	}
@@ -618,8 +724,9 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 
 // installRPCClients attaches one RPC client per client host, round-
 // robining over the NF cores; aggregate open-loop rates split evenly
-// across clients.
-func installRPCClients(cl *idio.Cluster, topo *Topology, nfCores []int) error {
+// across clients. A qos section's clientDSCPs round-robin over the
+// clients, marking each request flow's service class.
+func installRPCClients(cl *idio.Cluster, topo *Topology, qspec *QoSSpec, nfCores []int) error {
 	rpc := topo.RPC
 	var mode fnet.Mode
 	switch rpc.Mode {
@@ -648,6 +755,9 @@ func installRPCClients(cl *idio.Cluster, topo *Topology, nfCores []int) error {
 		ccfg.Flow = cl.ClientFlow(i, core)
 		if rpc.FrameLen > 0 {
 			ccfg.Flow.FrameLen = rpc.FrameLen
+		}
+		if qspec != nil && len(qspec.ClientDSCPs) > 0 {
+			ccfg.Flow.DSCP = qspec.ClientDSCPs[i%len(qspec.ClientDSCPs)]
 		}
 		cl.AddRPCClient(i, core, ccfg)
 	}

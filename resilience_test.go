@@ -5,6 +5,7 @@ package idio
 // a packet from the host pool or wedging the topology.
 
 import (
+	"reflect"
 	"testing"
 
 	"idio/internal/apps"
@@ -45,8 +46,8 @@ func runChaosCluster(t *testing.T, pol core.Policy, tl []fault.Phase) (*Cluster,
 			},
 		})
 	}
-	res := cl.RunUntilIdle(30 * sim.Millisecond)
-	if err := cl.Err(); err != nil {
+	res, err := cl.Run(RunOpts{Horizon: 30 * sim.Millisecond, UntilIdle: true})
+	if err != nil {
 		t.Fatalf("cluster run: %v", err)
 	}
 	return cl, res
@@ -110,7 +111,7 @@ func TestChaosClusterDeterministicReplay(t *testing.T) {
 		return *res.RPC
 	}
 	a, b := run(), run()
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("chaos replay diverged:\n  %+v\n  %+v", a, b)
 	}
 	if a.Retries == 0 {

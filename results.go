@@ -17,9 +17,19 @@ import (
 )
 
 // LinkResult is one fabric link's counters, labelled by link name.
+// Classes is non-nil only for links running the QoS scheduled egress
+// (one entry per service class, class order).
 type LinkResult struct {
-	Name  string
-	Stats fnet.LinkStats
+	Name    string
+	Stats   fnet.LinkStats
+	Classes []LinkClassResult
+}
+
+// LinkClassResult is one service class's slice of a scheduled link's
+// counters.
+type LinkClassResult struct {
+	Class string
+	Stats fnet.ClassStats
 }
 
 // FabricResults summarises the network fabric of a Cluster run: every
@@ -51,6 +61,25 @@ type RPCResults struct {
 	P50  sim.Duration
 	P99  sim.Duration
 	P999 sim.Duration
+	// Classes breaks the summary down by service class when the cluster
+	// runs a QoS policy (classes with no clients are omitted); nil
+	// otherwise, keeping legacy outputs unchanged.
+	Classes []RPCClassResult
+}
+
+// RPCClassResult is one service class's slice of the RPC summary: the
+// clients whose request flow maps to this class, their aggregate
+// counts, goodput, and merged latency percentiles.
+type RPCClassResult struct {
+	Class      string
+	Clients    int
+	Issued     uint64
+	Responses  uint64
+	Timeouts   uint64
+	GoodputBps float64
+	P50        sim.Duration
+	P99        sim.Duration
+	P999       sim.Duration
 }
 
 // CoreResult summarises one core's software stack.
@@ -438,6 +467,24 @@ func (r Results) WriteStats(w io.Writer) error {
 					v interface{}
 				}{"fabric." + l.Name + ".aqm_drops", l.Stats.AQMDrops})
 			}
+			// Per-class egress breakdown, present only on scheduled (QoS)
+			// links.
+			for _, cc := range l.Classes {
+				cp := "fabric." + l.Name + "." + cc.Class + "."
+				kv = append(kv, []struct {
+					k string
+					v interface{}
+				}{
+					{cp + "tx_packets", cc.Stats.TxPackets},
+					{cp + "tail_drops", cc.Stats.TailDrops},
+				}...)
+				if cc.Stats.AQMDrops > 0 {
+					kv = append(kv, struct {
+						k string
+						v interface{}
+					}{cp + "aqm_drops", cc.Stats.AQMDrops})
+				}
+			}
 		}
 		kv = append(kv, []struct {
 			k string
@@ -477,6 +524,24 @@ func (r Results) WriteStats(w io.Writer) error {
 			{"rpc.p99_us", fmt.Sprintf("%.3f", rpc.P99.Microseconds())},
 			{"rpc.p999_us", fmt.Sprintf("%.3f", rpc.P999.Microseconds())},
 		}...)
+		// Per-service-class SLO accounting, present only under a QoS
+		// policy.
+		for _, c := range rpc.Classes {
+			cp := "rpc." + c.Class + "."
+			kv = append(kv, []struct {
+				k string
+				v interface{}
+			}{
+				{cp + "clients", c.Clients},
+				{cp + "issued", c.Issued},
+				{cp + "responses", c.Responses},
+				{cp + "timeouts", c.Timeouts},
+				{cp + "goodput_gbps", fmt.Sprintf("%.3f", c.GoodputBps/1e9)},
+				{cp + "p50_us", fmt.Sprintf("%.3f", c.P50.Microseconds())},
+				{cp + "p99_us", fmt.Sprintf("%.3f", c.P99.Microseconds())},
+				{cp + "p999_us", fmt.Sprintf("%.3f", c.P999.Microseconds())},
+			}...)
+		}
 	}
 	for _, e := range kv {
 		if _, err := fmt.Fprintf(w, "%-30s %v\n", e.k, e.v); err != nil {
@@ -553,6 +618,11 @@ func (r Results) String() string {
 		if rpc.Retries+rpc.Hedges+rpc.Failed > 0 {
 			fmt.Fprintf(&b, "  rpc retry: retries=%d hedges=%d failed=%d\n",
 				rpc.Retries, rpc.Hedges, rpc.Failed)
+		}
+		for _, c := range rpc.Classes {
+			fmt.Fprintf(&b, "  rpc[%s]: clients=%d issued=%d resp=%d timeouts=%d goodput=%.2fGbps p50=%.2fus p99=%.2fus p999=%.2fus\n",
+				c.Class, c.Clients, c.Issued, c.Responses, c.Timeouts,
+				c.GoodputBps/1e9, c.P50.Microseconds(), c.P99.Microseconds(), c.P999.Microseconds())
 		}
 	}
 	if r.PktPool.Outstanding > 0 {

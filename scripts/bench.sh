@@ -18,7 +18,7 @@ COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_sim.json}"
 RAW="${RAW:-${OUT%.json}.txt}"
 HISTORY="${HISTORY:-BENCH_history.jsonl}"
-LABEL="${LABEL:-$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)}"
+LABEL="${LABEL:-pr$(git rev-list --count HEAD 2>/dev/null || echo 0)-$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)}"
 
 go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier ./internal/net | tee "$RAW"
 go run ./cmd/benchjson -o "$OUT" -history "$HISTORY" -label "$LABEL" "$RAW"

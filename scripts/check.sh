@@ -45,6 +45,18 @@ go run ./cmd/idiosim -scenario scenarios/rpc_closed_loop.json -shards 4 \
     -stats "$obsdir/rpc4.stats" > "$obsdir/rpc4.out"
 cmp "$obsdir/rpc1.out" "$obsdir/rpc4.out"
 cmp "$obsdir/rpc1.stats" "$obsdir/rpc4.stats"
+# QoS smoke: the class-isolation comparison must run with byte-identical
+# tables for serial and parallel cells, and the mixed-class scenario
+# must stay byte-identical between single-domain and sharded runs —
+# per-class histogram merging is order-independent by construction.
+go run ./cmd/idiosim -exp qos -quick -j 2 > "$obsdir/qos.txt"
+go run ./cmd/idiosim -exp qos -quick -j 1 | cmp - "$obsdir/qos.txt"
+go run ./cmd/idiosim -scenario scenarios/qos_mix.json \
+    -stats "$obsdir/qos1.stats" > "$obsdir/qos1.out"
+go run ./cmd/idiosim -scenario scenarios/qos_mix.json -shards 4 \
+    -stats "$obsdir/qos4.stats" > "$obsdir/qos4.out"
+cmp "$obsdir/qos1.out" "$obsdir/qos4.out"
+cmp "$obsdir/qos1.stats" "$obsdir/qos4.stats"
 # Chaos smoke: the scripted fault timeline must run under both serial
 # and parallel cell execution with byte-identical tables, and the
 # chaos scenario's drained run must hold the pool-leak gate: a leak

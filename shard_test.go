@@ -11,6 +11,7 @@ import (
 	"idio/internal/fault"
 	fnet "idio/internal/net"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 	"idio/internal/traffic"
 )
@@ -98,6 +99,30 @@ func closedLoopLoad(cl *Cluster) {
 // per client.
 func TestClusterShardedByteIdentical(t *testing.T) {
 	requireShardEquivalence(t, []int{2, 3, 4, 5, 9}, nil, closedLoopLoad)
+}
+
+// TestClusterShardedQoSByteIdentical extends the invariant to the
+// class-aware data plane: mixed-DSCP clients over scheduled switch
+// egress, per-class placement on the DUT, and the per-class histogram
+// merge at Collect must all be shard-count-invariant, down to the
+// rendered per-class stats keys.
+func TestClusterShardedQoSByteIdentical(t *testing.T) {
+	dscps := []uint8{46, 34, 8} // ef, af41, cs1
+	requireShardEquivalence(t, []int{2, 3, 5},
+		func(cfg *ClusterConfig) { cfg.QoS = qos.DefaultConfig() },
+		func(cl *Cluster) {
+			for c := 0; c < 2; c++ {
+				cl.DUT.AddNF(c, apps.L2Fwd{}, cl.DUT.DefaultFlow(c))
+			}
+			for i := 0; i < 3; i++ {
+				ccfg := fnet.ClientConfig{
+					Mode: fnet.ModeClosed, Outstanding: 8, Requests: 512,
+				}
+				ccfg.Flow = cl.ClientFlow(i, i%2)
+				ccfg.Flow.DSCP = dscps[i]
+				cl.AddRPCClient(i, i%2, ccfg)
+			}
+		})
 }
 
 // TestClusterShardedGeneratorTraffic covers the other ingress path:
@@ -197,8 +222,9 @@ func TestClusterShardedRandomWorkloads(t *testing.T) {
 	}
 }
 
-// TestClusterRunOptsAPI exercises the consolidated Run entry point and
-// its deprecated wrappers on the same workload.
+// TestClusterRunOptsAPI exercises the consolidated Run entry point in
+// both modes on the same workload: repeated runs are deterministic and
+// a fixed horizon stops exactly on time.
 func TestClusterRunOptsAPI(t *testing.T) {
 	mk := func() *Cluster {
 		cl, err := NewCluster(DefaultClusterConfig(2, 3))
@@ -212,17 +238,16 @@ func TestClusterRunOptsAPI(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	b := mk().RunUntilIdle(20 * sim.Millisecond)
+	b, err := mk().Run(RunOpts{Horizon: 20 * sim.Millisecond, UntilIdle: true})
+	if err != nil {
+		t.Fatalf("Run (repeat): %v", err)
+	}
 	if !reflect.DeepEqual(a, b) {
-		t.Error("RunUntilIdle wrapper diverges from Run(UntilIdle)")
+		t.Error("identical UntilIdle runs diverge")
 	}
 	c, err := mk().Run(RunOpts{Horizon: 5 * sim.Millisecond})
 	if err != nil {
 		t.Fatalf("Run (fixed horizon): %v", err)
-	}
-	d := mk().RunFor(5 * sim.Millisecond)
-	if !reflect.DeepEqual(c, d) {
-		t.Error("RunFor wrapper diverges from Run")
 	}
 	if c.Now != sim.Time(5*sim.Millisecond) {
 		t.Errorf("fixed-horizon run stopped at %v", c.Now)
@@ -298,9 +323,6 @@ func TestClusterShardedPhaseDomainMismatch(t *testing.T) {
 	cl.AddRPCClient(0, 0, fnet.ClientConfig{Mode: fnet.ModeClosed, Outstanding: 1, Requests: 8})
 	if _, err := cl.Run(RunOpts{Horizon: 5 * sim.Millisecond, UntilIdle: true}); err == nil {
 		t.Fatal("Run accepted a phase naming the wrong owning domain")
-	}
-	if cl.Err() == nil {
-		t.Error("Err() nil after rejected phase domain")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"idio/internal/obs"
 	"idio/internal/pcie"
 	"idio/internal/pkt"
+	"idio/internal/qos"
 	"idio/internal/sim"
 	"idio/internal/stats"
 	"idio/internal/traffic"
@@ -50,21 +51,35 @@ func (rc *rootComplex) DMAWrite(now sim.Time, tlp pcie.WriteTLP) sim.Duration {
 	case idiocore.SteerDRAM:
 		lat = rc.sys.Hier.DirectDRAMWrite(now, mem.LineAddr(tlp.LineAddr))
 	case idiocore.SteerMLC:
-		lat = rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+		lat = rc.writeLine(now, tlp.LineAddr, meta.QoS)
 		// A corrupted metadata bit can decode to a core the system
 		// does not have; Steer only returns SteerMLC for in-range
 		// cores, but guard anyway — a mis-steer must degrade, never
 		// crash.
 		if meta.DestCore >= 0 && meta.DestCore < len(rc.sys.Prefetchers) {
-			rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
+			if rc.sys.qosArmed {
+				rc.sys.Prefetchers[meta.DestCore].HintClass(rc.sys.Sim, tlp.LineAddr, meta.QoS)
+			} else {
+				rc.sys.Prefetchers[meta.DestCore].Hint(rc.sys.Sim, tlp.LineAddr)
+			}
 		}
 	default:
-		lat = rc.sys.Hier.PCIeWrite(now, mem.LineAddr(tlp.LineAddr))
+		lat = rc.writeLine(now, tlp.LineAddr, meta.QoS)
 	}
 	if o := rc.sys.obs; o.Tracing() {
 		o.LineEvent(obs.EvPlace, now, tlp.LineAddr, meta.DestCore, steer.String(), lat)
 	}
 	return lat
+}
+
+// writeLine performs the LLC-directed placement of one inbound line:
+// under the class's DDIO way quota when QoS is armed, the host-wide
+// mask otherwise (the exact legacy call).
+func (rc *rootComplex) writeLine(now sim.Time, lineAddr uint64, class uint8) sim.Duration {
+	if rc.sys.qosArmed {
+		return rc.sys.Hier.PCIeWriteClass(now, mem.LineAddr(lineAddr), int(class))
+	}
+	return rc.sys.Hier.PCIeWrite(now, mem.LineAddr(lineAddr))
 }
 
 // DMARead implements nic.Sink (TX egress path).
@@ -135,6 +150,9 @@ type System struct {
 	rc      *rootComplex
 	layout  *mem.Layout
 	started bool
+	// qosArmed mirrors Cfg.QoS != nil; checked on the DMA hot path so
+	// the disarmed placement calls are exactly the legacy ones.
+	qosArmed bool
 
 	obs           *obs.Observer
 	prefetchHooks []func(core int, line uint64, filled bool)
@@ -240,8 +258,46 @@ func NewHostE(sm *sim.Simulator, cfg Config) (*System, error) {
 			}
 		}
 	}
+	if q := cfg.QoS; q != nil {
+		qmap, err := q.BuildMap()
+		if err != nil {
+			return nil, err
+		}
+		s.qosArmed = true
+		for _, port := range s.ports {
+			port.SetQoSMap(qmap)
+		}
+		var direct [qos.NumClasses]bool
+		var every [qos.NumClasses]int
+		for ci := range q.Classes {
+			p := &q.Classes[ci]
+			if p.LLCWays > 0 {
+				s.Hier.SetClassDDIOWays(ci, p.LLCWays)
+			}
+			direct[ci] = p.DirectDRAM
+			every[ci] = p.PrefetchEvery
+		}
+		s.Controller.SetQoSPolicy(direct)
+		for _, pf := range s.Prefetchers {
+			pf.SetClassEvery(every)
+		}
+	}
 	s.registerMetrics()
 	return s, nil
+}
+
+// ClassRx aggregates the per-class admitted packet/byte counters
+// across every NIC port (all zero unless Config.QoS armed the class
+// map).
+func (s *System) ClassRx() (pkts, bytes [qos.NumClasses]uint64) {
+	for _, port := range s.ports {
+		pp, pb := port.ClassRx()
+		for c := 0; c < qos.NumClasses; c++ {
+			pkts[c] += pp[c]
+			bytes[c] += pb[c]
+		}
+	}
+	return pkts, bytes
 }
 
 // registerMetrics populates the observability registry with every
@@ -284,6 +340,29 @@ func (s *System) registerMetrics() {
 	} else {
 		reg.CounterFunc("iommu.read_faults", func() uint64 { return 0 })
 		reg.CounterFunc("iommu.write_faults", func() uint64 { return 0 })
+	}
+	// Per-class keys exist only when QoS is armed, so disarmed runs
+	// keep the historical registry (and WriteJSON document) exactly.
+	if s.Cfg.QoS != nil {
+		for c := 0; c < qos.NumClasses; c++ {
+			c := c
+			reg.CounterFunc(fmt.Sprintf("qos.%v.rx_packets", qos.Class(c)), func() uint64 {
+				pkts, _ := s.ClassRx()
+				return pkts[c]
+			})
+			reg.CounterFunc(fmt.Sprintf("qos.%v.rx_bytes", qos.Class(c)), func() uint64 {
+				_, bytes := s.ClassRx()
+				return bytes[c]
+			})
+		}
+		reg.CounterFunc("qos.direct_dram", func() uint64 { return s.Controller.QoSDRAMCount })
+		reg.CounterFunc("qos.prefetch_suppressed", func() uint64 {
+			var n uint64
+			for _, p := range s.Prefetchers {
+				n += p.ClassSuppressed
+			}
+			return n
+		})
 	}
 	s.Controller.RegisterMetrics(reg, "ctrl.")
 	s.Classifier.RegisterMetrics(reg, "classifier.")

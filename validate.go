@@ -169,6 +169,17 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		errs = append(errs, &ConfigError{Field: "Faults", Msg: err.Error()})
 	}
+	if q := c.QoS; q != nil {
+		if err := q.Validate(); err != nil {
+			errs = append(errs, &ConfigError{Field: "QoS", Msg: err.Error()})
+		} else {
+			for ci := range q.Classes {
+				if w := q.Classes[ci].LLCWays; w > h.LLCAssoc {
+					bad(fmt.Sprintf("QoS.Classes[%d].LLCWays", ci), "%d exceeds %d-way LLC", w, h.LLCAssoc)
+				}
+			}
+		}
+	}
 
 	return errors.Join(errs...)
 }
