@@ -158,6 +158,61 @@ func TestClusterAllocsPerRequest(t *testing.T) {
 	}
 }
 
+// TestChurnAllocsPerRequest asserts the million-flow engine stays off
+// the heap in steady state: 128k concurrent flows resident in the
+// compact flow table, every think/timeout/arrival deadline on the
+// hashed timer wheel, and the NIC's per-flow statistics table armed.
+// Admissions, departures, and replacement arrivals all happen inside
+// the measured window — churn itself must not allocate once the table,
+// wheel slab, and packet pool are warm.
+func TestChurnAllocsPerRequest(t *testing.T) {
+	ccfg := idio.DefaultClusterConfig(1, 1)
+	ccfg.Host.Hier.MLCSize = benchMLC
+	ccfg.Host.Hier.LLCSize = benchLLC
+	ccfg.Host.NIC.RingSize = benchRing
+	ccfg.Host.Policy = idiocore.PolicyIDIO
+	ccfg.Host.Hier.TimelineBucket = 0
+	cl, err := idio.NewCluster(ccfg)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl.DUT.AddNF(0, apps.L2Fwd{}, cl.DUT.DefaultFlow(0))
+	// 128k flows thinking 250ms each offer ~512k requests/s — a busy
+	// but uncontended load on the one-core DUT, so the window measures
+	// the lifecycle, not queueing.
+	c := cl.AddChurnClient(0, fnet.ChurnConfig{
+		Flows:    128 << 10,
+		Requests: 1 << 62,
+		Think:    250 * sim.Millisecond,
+		Seed:     11,
+	})
+	cl.Start()
+
+	now := sim.Time(4 * sim.Millisecond)
+	cl.Sim.RunUntil(now)
+	warm := c.Responses()
+	if warm == 0 {
+		t.Fatal("warm-up answered no requests")
+	}
+	const step = 500 * sim.Microsecond
+	avg := testing.AllocsPerRun(100, func() {
+		now = now.Add(step)
+		cl.Sim.RunUntil(now)
+	})
+	reqs := c.Responses() - warm
+	if reqs == 0 {
+		t.Fatal("measured window answered no requests")
+	}
+	st := c.Stats()
+	if st.Departures == 0 || st.Arrivals <= uint64(128<<10) {
+		t.Fatalf("measured window churned no flows: %+v", st)
+	}
+	if avg != 0 {
+		t.Fatalf("%.2f allocs per %v slice (%d requests measured): the million-flow engine must not allocate",
+			avg, step, reqs)
+	}
+}
+
 // TestClusterAllocsPerRequestQoS re-runs the steady-state allocation
 // gate with the full class pipeline armed: DSCP classification and
 // per-class RX counters in the NIC, class-quota placement, and the

@@ -13,6 +13,7 @@ import (
 	"idio/internal/apps"
 	idiocore "idio/internal/core"
 	"idio/internal/experiment"
+	fnet "idio/internal/net"
 	"idio/internal/sim"
 	"idio/internal/traffic"
 )
@@ -209,6 +210,57 @@ func BenchmarkPacketLifecycle(b *testing.B) {
 		nsPerPkt := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(rx)
 		b.ReportMetric(nsPerPkt, "ns/pkt")
 		b.ReportMetric(1e3/nsPerPkt, "Mpkts/wallsec")
+	}
+}
+
+// BenchmarkMillionFlowSteadyState measures the per-request cost of the
+// million-flow engine: one million concurrent flows resident in the
+// compact flow table, one hashed timer wheel carrying every deadline,
+// and the full fabric round trip per request. Setup (admitting the
+// population, arming a million timers) happens before the timer; one
+// op is one answered request out of the steady churn, and ns/req is
+// the headline — it must not grow with the resident population.
+func BenchmarkMillionFlowSteadyState(b *testing.B) {
+	ccfg := idio.DefaultClusterConfig(1, 1)
+	ccfg.Host.Hier.MLCSize = benchMLC
+	ccfg.Host.Hier.LLCSize = benchLLC
+	ccfg.Host.NIC.RingSize = benchRing
+	ccfg.Host.Policy = idiocore.PolicyIDIO
+	ccfg.Host.Hier.TimelineBucket = 0
+	cl, err := idio.NewCluster(ccfg)
+	if err != nil {
+		b.Fatalf("NewCluster: %v", err)
+	}
+	cl.DUT.AddNF(0, apps.L2Fwd{}, cl.DUT.DefaultFlow(0))
+	// A million flows thinking 2s each offer ~500k requests/s; the
+	// 262ms wheel span forces cascades, so the measured loop includes
+	// long-deadline re-inspection, not just near-term fires.
+	c := cl.AddChurnClient(0, fnet.ChurnConfig{
+		Flows:    1_000_000,
+		Requests: 1 << 62,
+		Think:    2 * sim.Second,
+		Seed:     11,
+	})
+	cl.Start()
+	now := sim.Time(4 * sim.Millisecond)
+	cl.Sim.RunUntil(now)
+	warm := c.Responses()
+	if warm == 0 {
+		b.Fatal("warm-up answered no requests")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	const step = 500 * sim.Microsecond
+	target := warm + uint64(b.N)
+	for c.Responses() < target {
+		now = now.Add(step)
+		cl.Sim.RunUntil(now)
+	}
+	b.StopTimer()
+	reqs := c.Responses() - warm
+	if reqs > 0 {
+		nsPerReq := float64(b.Elapsed().Nanoseconds()) / float64(reqs)
+		b.ReportMetric(nsPerReq, "ns/req")
 	}
 }
 

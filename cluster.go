@@ -5,6 +5,7 @@ import (
 
 	"idio/internal/fault"
 	fnet "idio/internal/net"
+	"idio/internal/nic"
 	"idio/internal/pkt"
 	"idio/internal/qos"
 	"idio/internal/sim"
@@ -48,6 +49,9 @@ type Cluster struct {
 	// Clients holds the RPC clients installed via AddRPCClient, in
 	// installation order (nil-free; index is NOT the client slot).
 	Clients []*fnet.Client
+	// ChurnClients holds the flow-churn clients installed via
+	// AddChurnClient, in installation order.
+	ChurnClients []*fnet.ChurnClient
 	// ClientUp[i] carries client slot i's traffic toward the switch;
 	// ClientDown[i] is non-nil once slot i has an RPC client.
 	ClientUp   []*fnet.Link
@@ -76,6 +80,7 @@ type Cluster struct {
 	doms         []*clusterDomain // [0]=dut, [1]=switch, [2..]=client groups
 	clientDomOf  []int            // client slot -> domain index
 	clientSlots  []int            // Clients[j] -> slot (parallel to Clients)
+	churnSlots   []int            // ChurnClients[j] -> slot
 	faultLinkDom []int            // fault AttachLink order -> owning domain
 	outboxes     []*fnet.Outbox
 	flushScratch []fnet.XEntry
@@ -396,6 +401,59 @@ func (cl *Cluster) AddRPCClient(i, core int, ccfg fnet.ClientConfig) *fnet.Clien
 	return c
 }
 
+// AddChurnClient installs a flow-churn client on slot i: it builds
+// the slot's downlink and routes the client's address to it, exactly
+// like AddRPCClient — but installs NO Flow Director rule. A churn
+// client's million-key 5-tuple space cannot be pinned with per-flow
+// EP rules (the point of the workload); its flows spread across DUT
+// cores through the Toeplitz RSS fallback, as unpinned traffic does
+// on real hardware. The first churn client also arms the NIC's
+// per-flow statistics table (capacity nic.DefaultFlowStatsEntries —
+// at a million flows the refusal counter exposes the hardware bound).
+// A zero ccfg.Flow defaults to ClientFlow(i, 0).
+func (cl *Cluster) AddChurnClient(i int, ccfg fnet.ChurnConfig) *fnet.ChurnClient {
+	if cl.ClientDown[i] != nil {
+		panic(fmt.Sprintf("idio: client slot %d already has a client", i))
+	}
+	if ccfg.Flow == (traffic.Flow{}) {
+		ccfg.Flow = cl.ClientFlow(i, 0)
+	}
+	if cl.engine != nil {
+		if ccfg.Hist != nil {
+			panic("idio: a sharded cluster cannot share one histogram across client domains; leave ChurnConfig.Hist nil")
+		}
+	}
+	c := fnet.NewChurnClient(cl.ClientSim(i), ccfg, cl.ClientUp[i])
+	o := cl.DUT.Observe()
+	reg := o.Registry()
+
+	lc := cl.cfg.ClientLink
+	lc.Name = fmt.Sprintf("c%d.down", i)
+	cl.ClientDown[i] = fnet.NewLink(lc, c)
+	cl.ClientDown[i].SetObserver(o)
+	if cl.qosMap != nil {
+		cl.ClientDown[i].ArmQoS(cl.cfg.QoS, cl.qosMap)
+	}
+	cl.bindLink(cl.ClientDown[i], domSwitch, cl.clientDomain(i))
+	cl.ClientDown[i].RegisterMetrics(reg, fmt.Sprintf("fabric.c%d.down.", i))
+	cl.Switch.Route(ccfg.Flow.Src, cl.Switch.AddPort(cl.ClientDown[i]))
+	if cl.DUT.Faults != nil {
+		cl.attachFaultLink(cl.ClientDown[i], domSwitch)
+	}
+
+	if !cl.DUT.FlowDir.FlowStatsEnabled() {
+		fd := cl.DUT.FlowDir
+		fd.EnableFlowStats(nic.DefaultFlowStatsEntries)
+		reg.GaugeFunc("nic.flows_tracked", func() float64 { return float64(fd.TrackedFlows()) })
+		reg.GaugeFunc("nic.flow_table_load", fd.FlowStatsLoad)
+		reg.CounterFunc("nic.flow_refusals", fd.FlowRefusals)
+	}
+	c.RegisterMetrics(reg, fmt.Sprintf("churn.c%d.", i))
+	cl.ChurnClients = append(cl.ChurnClients, c)
+	cl.churnSlots = append(cl.churnSlots, i)
+	return c
+}
+
 // Start launches the DUT (cores, controller, injectors) and every
 // installed RPC client, each on its owning domain's simulator.
 // Calling it more than once is a no-op.
@@ -417,6 +475,9 @@ func (cl *Cluster) Start() {
 	}
 	for j, c := range cl.Clients {
 		c.Start(cl.ClientSim(cl.clientSlots[j]))
+	}
+	for j, c := range cl.ChurnClients {
+		c.Start(cl.ClientSim(cl.churnSlots[j]))
 	}
 }
 
@@ -468,6 +529,11 @@ func (cl *Cluster) Idle() bool {
 		}
 	}
 	for _, c := range cl.Clients {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, c := range cl.ChurnClients {
 		if !c.Done() {
 			return false
 		}
@@ -615,6 +681,45 @@ func (cl *Cluster) Collect() Results {
 			rpc.Classes = cl.collectClasses()
 		}
 		r.RPC = rpc
+	}
+	if len(cl.ChurnClients) > 0 {
+		ch := &ChurnResults{
+			NICFlowsTracked: cl.DUT.FlowDir.TrackedFlows(),
+			NICFlowRefusals: cl.DUT.FlowDir.FlowRefusals(),
+		}
+		h := stats.NewHistogram(5)
+		var rxBytes uint64
+		var first, last sim.Time
+		for i, c := range cl.ChurnClients {
+			st := c.Stats()
+			ch.Issued += st.Issued
+			ch.Responses += st.Responses
+			ch.Timeouts += st.Timeouts
+			ch.Late += st.Late
+			ch.Arrivals += st.Arrivals
+			ch.Departures += st.Departures
+			ch.ActiveFlows += st.ActiveFlows
+			ch.WheelTicks += st.Wheel.Ticks
+			ch.WheelCascades += st.Wheel.Cascades
+			if st.TableLoad > ch.TableLoad {
+				ch.TableLoad = st.TableLoad
+			}
+			rxBytes += c.RxBytes()
+			if fs := c.FirstSend(); i == 0 || fs < first {
+				first = fs
+			}
+			if lr := c.LastResp(); lr > last {
+				last = lr
+			}
+			h.Merge(c.Hist())
+		}
+		ch.GoodputBps = fnet.GoodputBps(rxBytes, first, last)
+		if h.Count() > 0 {
+			ch.P50 = h.Quantile(0.50)
+			ch.P99 = h.Quantile(0.99)
+			ch.P999 = h.Quantile(0.999)
+		}
+		r.Churn = ch
 	}
 	return r
 }

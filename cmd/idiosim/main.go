@@ -20,7 +20,7 @@
 //	                                      # sweep parameterised by a topology
 //
 // Experiments: fig4 fig5 fig9 fig10 fig11 fig12 fig13 fig14 breakdown
-// ablations degradation rpc chaos qos verify all.
+// ablations degradation rpc chaos qos churn verify all.
 //
 // Every experiment cell simulates an independent System, so -j only
 // changes wall-clock time: the tables and CSVs are byte-identical for
@@ -45,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|rpc|chaos|qos|verify|all")
+	exp := flag.String("exp", "fig10", "experiment to run: fig4|fig5|fig9|fig10|fig11|fig12|fig13|fig14|breakdown|ablations|degradation|rpc|chaos|qos|churn|verify|all")
 	csvDir := flag.String("csv", "", "directory to write timeline CSVs into (optional)")
 	quick := flag.Bool("quick", false, "run reduced-size variants (256-entry rings, scaled caches)")
 	par := flag.Int("j", 1, "worker-pool size for experiment grids (0 = GOMAXPROCS, 1 = serial)")
@@ -120,7 +120,7 @@ func main() {
 		return
 	}
 
-	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation", "rpc", "chaos", "qos"}
+	all := []string{"fig4", "fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "breakdown", "ablations", "degradation", "rpc", "chaos", "qos", "churn"}
 	targets := []string{*exp}
 	if *exp == "all" {
 		targets = all
@@ -335,6 +335,20 @@ func (r *runner) run(name string, w io.Writer) error {
 		return experiment.WriteTable(w,
 			"QoS: per-class SLOs under a saturating bulk+scavenger mix (DDIO vs IDIO vs QoS-aware IDIO)",
 			experiment.QoSHeader(), experiment.Rows(rows))
+
+	case "churn":
+		opts := experiment.DefaultChurnOpts()
+		opts.Parallelism = r.par
+		if r.quick {
+			opts.RingSize = quickRing
+			opts.MLCSize, opts.LLCSize = quickMLC, quickLLC
+			opts.Flows = []int{1_000, 65_536}
+			opts.Horizon = 4 * sim.Millisecond
+		}
+		rows := experiment.Churn(opts)
+		return experiment.WriteTable(w,
+			"Churn: constant offered load over growing concurrent-flow populations (DDIO vs IDIO)",
+			experiment.ChurnHeader(), experiment.Rows(rows))
 
 	case "chaos":
 		opts := experiment.DefaultChaosOpts()

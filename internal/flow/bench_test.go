@@ -1,0 +1,55 @@
+package flow
+
+import "testing"
+
+// BenchmarkFlowTableLookup measures hit lookups at the populations the
+// churn sweep runs (1k → 1M resident flows); ns/op should stay flat —
+// the O(1) claim the million-flow engine rests on.
+func BenchmarkFlowTableLookup(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 17, 1 << 20} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			tb := New[uint64](n)
+			for k := 0; k < n; k++ {
+				tb.Put(uint64(k), uint64(k))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				v, _ := tb.Get(uint64(i & (n - 1)))
+				sink += v
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFlowTableChurn measures the steady-state delete+insert pair
+// (one flow departs, one arrives) at a resident population of 1M.
+func BenchmarkFlowTableChurn(b *testing.B) {
+	const n = 1 << 20
+	tb := New[uint64](n)
+	for k := 0; k < n; k++ {
+		tb.Put(uint64(k), uint64(k))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	old, next := uint64(0), uint64(n)
+	for i := 0; i < b.N; i++ {
+		tb.Delete(old)
+		tb.Put(next, next)
+		old++
+		next++
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1M"
+	case n >= 1<<17:
+		return "128k"
+	default:
+		return "1k"
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"idio/internal/flow"
 	"idio/internal/obs"
 	"idio/internal/pkt"
 	"idio/internal/sim"
@@ -130,6 +131,14 @@ type ClientConfig struct {
 	// exponential-backoff retransmission (see RetryConfig). Nil keeps
 	// the historical behaviour bit-for-bit.
 	Retry *RetryConfig
+	// Wheel, when non-nil, arms per-attempt timeouts on this hashed
+	// timer wheel instead of scheduling one simulator event per
+	// attempt: deadlines quantize to the wheel's granularity and a
+	// matched response cancels its timer in O(1). The wheel must live
+	// on the client's own simulator (its event domain, when sharded).
+	// Nil keeps the legacy per-event path, whose event stream — and
+	// therefore every existing output — is preserved bit-for-bit.
+	Wheel *sim.TimerWheel
 }
 
 // ClientStats summarises one client's run.
@@ -177,11 +186,14 @@ type Client struct {
 	// unset there is exactly one attempt per request and the wire seq
 	// IS the request id; with Retry set every attempt (original,
 	// retry, hedge) gets a fresh wire seq from nextSeq, so responses
-	// match the exact attempt that elicited them.
-	inflight map[uint64]attempt
+	// match the exact attempt that elicited them. Both tables are
+	// compact open-addressing flow tables, not Go maps: inline slots,
+	// deterministic layout, zero steady-state allocations — the
+	// representation that scales to the million-flow engine.
+	inflight *flow.Table[attempt]
 	// reqs tracks open (unanswered, unabandoned) requests in retry
 	// mode; nil in legacy mode.
-	reqs    map[uint64]reqState
+	reqs    *flow.Table[reqState]
 	rng     *rand.Rand // backoff jitter; nil in legacy mode
 	nextSeq uint64
 
@@ -204,6 +216,9 @@ type Client struct {
 type attempt struct {
 	req  uint64 // owning request id
 	sent sim.Time
+	// timer is the attempt's armed wheel timeout (wheel mode only;
+	// zero in the legacy per-event path).
+	timer sim.TimerHandle
 }
 
 // reqState tracks one open request in retry mode.
@@ -269,10 +284,10 @@ func NewClient(cfg ClientConfig, up *Link) *Client {
 		up:       up,
 		tmpl:     tmpl,
 		hist:     stats.NewHistogram(5),
-		inflight: make(map[uint64]attempt),
+		inflight: flow.New[attempt](cfg.Outstanding),
 	}
 	if cfg.Retry != nil {
-		c.reqs = make(map[uint64]reqState)
+		c.reqs = flow.New[reqState](cfg.Outstanding)
 		c.rng = rand.New(rand.NewSource(cfg.Retry.Seed))
 	}
 	return c
@@ -340,7 +355,7 @@ func (c *Client) send(s *sim.Simulator) {
 	req := c.issued
 	c.issued++
 	if c.reqs != nil {
-		c.reqs[req] = reqState{}
+		c.reqs.Put(req, reqState{})
 		if c.cfg.Retry.Hedge > 0 {
 			s.AfterArg(c.cfg.Retry.Hedge, clientHedgeEv, sim.Arg{Obj: c, U0: req})
 		}
@@ -357,9 +372,9 @@ func (c *Client) sendAttempt(s *sim.Simulator, req uint64) {
 	if c.reqs != nil {
 		w = c.nextSeq
 		c.nextSeq++
-		st := c.reqs[req]
-		st.live++
-		c.reqs[req] = st
+		if st := c.reqs.Ref(req); st != nil {
+			st.live++
+		}
 	}
 	p := c.pool.Get(c.tmpl.FrameLen())
 	c.tmpl.Stamp(p, w)
@@ -368,8 +383,13 @@ func (c *Client) sendAttempt(s *sim.Simulator, req uint64) {
 		c.sentAny = true
 		c.firstSend = now
 	}
-	c.inflight[w] = attempt{req: req, sent: now}
-	s.AfterArg(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: w})
+	att := attempt{req: req, sent: now}
+	if c.cfg.Wheel != nil {
+		att.timer = c.cfg.Wheel.Arm(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: w})
+	} else {
+		s.AfterArg(c.cfg.Timeout, clientTimeoutEv, sim.Arg{Obj: c, U0: w})
+	}
+	c.inflight.Put(w, att)
 	c.up.Receive(s, p)
 }
 
@@ -403,11 +423,11 @@ func (c *Client) backoff(n int) sim.Duration {
 func clientTimeoutEv(sm *sim.Simulator, a sim.Arg) {
 	c := a.Obj.(*Client)
 	w := a.U0
-	att, ok := c.inflight[w]
+	att, ok := c.inflight.Get(w)
 	if !ok {
 		return // answered in time
 	}
-	delete(c.inflight, w)
+	c.inflight.Delete(w)
 	c.timeouts++
 	if c.reqs == nil {
 		if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
@@ -415,23 +435,23 @@ func clientTimeoutEv(sm *sim.Simulator, a sim.Arg) {
 		}
 		return
 	}
-	st, open := c.reqs[att.req]
+	st, open := c.reqs.Get(att.req)
 	if !open {
 		return // a sibling attempt already answered this request
 	}
 	st.live--
 	if st.live > 0 {
-		c.reqs[att.req] = st
+		c.reqs.Put(att.req, st)
 		return // the hedge (or another retry) is still in flight
 	}
 	if int(st.retries) < c.cfg.Retry.MaxRetries {
 		st.retries++
-		c.reqs[att.req] = st
+		c.reqs.Put(att.req, st)
 		c.retries++
 		sm.AfterArg(c.backoff(int(st.retries)), clientRetryEv, sim.Arg{Obj: c, U0: att.req})
 		return
 	}
-	delete(c.reqs, att.req)
+	c.reqs.Delete(att.req)
 	c.failed++
 	if c.cfg.Mode == ModeClosed && c.issued < c.cfg.Requests {
 		c.send(sm)
@@ -444,7 +464,7 @@ func clientTimeoutEv(sm *sim.Simulator, a sim.Arg) {
 func clientRetryEv(sm *sim.Simulator, a sim.Arg) {
 	c := a.Obj.(*Client)
 	req := a.U0
-	if _, open := c.reqs[req]; !open {
+	if _, open := c.reqs.Get(req); !open {
 		return // answered while the backoff was pending
 	}
 	c.sendAttempt(sm, req)
@@ -458,12 +478,12 @@ func clientRetryEv(sm *sim.Simulator, a sim.Arg) {
 func clientHedgeEv(sm *sim.Simulator, a sim.Arg) {
 	c := a.Obj.(*Client)
 	req := a.U0
-	st, open := c.reqs[req]
+	st, open := c.reqs.Get(req)
 	if !open || st.hedged || st.retries > 0 || st.live == 0 {
 		return
 	}
 	st.hedged = true
-	c.reqs[req] = st
+	c.reqs.Put(req, st)
 	c.hedges++
 	c.sendAttempt(sm, req)
 }
@@ -471,22 +491,27 @@ func clientHedgeEv(sm *sim.Simulator, a sim.Arg) {
 // Receive consumes one response from the fabric (implements
 // Endpoint). Responses are matched to requests by sequence number.
 func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
-	att, ok := c.inflight[p.Seq]
+	att, ok := c.inflight.Get(p.Seq)
 	if !ok {
 		c.late++ // timed out (or duplicate): not counted as goodput
 		p.Release()
 		return
 	}
-	delete(c.inflight, p.Seq)
+	c.inflight.Delete(p.Seq)
+	if c.cfg.Wheel != nil {
+		// The answered attempt's deadline is disarmed in O(1); the
+		// legacy path instead lets the timeout event fire as a no-op.
+		c.cfg.Wheel.Cancel(att.timer)
+	}
 	if c.reqs != nil {
-		if _, open := c.reqs[att.req]; !open {
+		if _, open := c.reqs.Get(att.req); !open {
 			// A sibling attempt (hedge or retry) already answered this
 			// request: the slower copy is late by definition.
 			c.late++
 			p.Release()
 			return
 		}
-		delete(c.reqs, att.req)
+		c.reqs.Delete(att.req)
 	}
 	now := s.Now()
 	lat := now.Sub(att.sent)
@@ -507,7 +532,7 @@ func (c *Client) Receive(s *sim.Simulator, p *pkt.Packet) {
 // no request awaiting a response, retry, or timeout — the fabric idle
 // check.
 func (c *Client) Done() bool {
-	return c.issued >= c.cfg.Requests && len(c.inflight) == 0 && len(c.reqs) == 0
+	return c.issued >= c.cfg.Requests && c.inflight.Len() == 0 && c.reqs.Len() == 0
 }
 
 // Issued returns requests sent so far.

@@ -10,11 +10,18 @@ package nic
 import (
 	"encoding/binary"
 
+	"idio/internal/flow"
 	"idio/internal/pkt"
 )
 
 // FilterTableSize matches modern Intel Ethernet adapters (Sec. II-C).
 const FilterTableSize = 8192
+
+// DefaultFlowStatsEntries is the default capacity of the per-flow
+// statistics table (see EnableFlowStats): 128K entries, the order of
+// a modern adapter's flow-tracking SRAM. A million-flow workload
+// overflows it by design — the refusal counter is the observable.
+const DefaultFlowStatsEntries = 1 << 17
 
 // toeplitzKey is the de-facto standard 40-byte Microsoft RSS key.
 var toeplitzKey = [40]byte{
@@ -68,10 +75,23 @@ type FlowDirector struct {
 	table    [FilterTableSize]filterEntry
 	rssTable []int // indirection table mapping hash to core
 
+	// flowStats, when armed via EnableFlowStats, tracks per-flow
+	// packet/byte counters in a fixed-capacity compact table — the
+	// model of the NIC's flow-statistics SRAM. Fixed capacity means
+	// flows past the hardware bound are simply not tracked (counted
+	// as refusals), never evicted and never allocated for.
+	flowStats *flow.Table[FlowStat]
+
 	// Stats.
 	EPHits   uint64
 	ATRHits  uint64
 	RSSFalls uint64
+}
+
+// FlowStat is one tracked flow's counters.
+type FlowStat struct {
+	Packets uint64
+	Bytes   uint64
 }
 
 // NewFlowDirector builds a director whose RSS indirection table spreads
@@ -100,6 +120,72 @@ func (fd *FlowDirector) AddEPRule(t pkt.FiveTuple, core int) {
 func (fd *FlowDirector) Learn(t pkt.FiveTuple, core int) {
 	h := Toeplitz(t)
 	fd.table[h%FilterTableSize] = filterEntry{valid: true, hash: h, core: core}
+}
+
+// EnableFlowStats arms per-flow packet/byte tracking with a hardware
+// capacity bound. Tracking is pure device state — it schedules no
+// events and emits nothing unless its metrics are registered — so
+// arming it never perturbs simulation output.
+func (fd *FlowDirector) EnableFlowStats(capacity int) {
+	if capacity <= 0 {
+		panic("nic: flow stats need capacity")
+	}
+	fd.flowStats = flow.NewFixed[FlowStat](capacity)
+}
+
+// FlowStatsEnabled reports whether per-flow tracking is armed.
+func (fd *FlowDirector) FlowStatsEnabled() bool { return fd.flowStats != nil }
+
+// Note records one admitted packet against its flow's counters (no-op
+// until EnableFlowStats). Flows beyond the table's capacity bound are
+// refused, not evicted — TrackedFlows/FlowRefusals expose the split.
+func (fd *FlowDirector) Note(t pkt.FiveTuple, bytes int) {
+	if fd.flowStats == nil {
+		return
+	}
+	k := flowKey(t)
+	if st := fd.flowStats.Ref(k); st != nil {
+		st.Packets++
+		st.Bytes += uint64(bytes)
+		return
+	}
+	fd.flowStats.Put(k, FlowStat{Packets: 1, Bytes: uint64(bytes)})
+}
+
+// TrackedFlows returns the number of flows resident in the stats
+// table (0 when tracking is off).
+func (fd *FlowDirector) TrackedFlows() int { return fd.flowStats.Len() }
+
+// FlowRefusals returns insertions refused by the capacity bound.
+func (fd *FlowDirector) FlowRefusals() uint64 { return fd.flowStats.Refusals() }
+
+// FlowStatsLoad returns the stats table's occupancy fraction.
+func (fd *FlowDirector) FlowStatsLoad() float64 {
+	if fd.flowStats == nil {
+		return 0
+	}
+	return fd.flowStats.LoadFactor()
+}
+
+// FlowStat returns the counters tracked for a flow.
+func (fd *FlowDirector) FlowStat(t pkt.FiveTuple) (FlowStat, bool) {
+	if fd.flowStats == nil {
+		return FlowStat{}, false
+	}
+	return fd.flowStats.Get(flowKey(t))
+}
+
+// flowKey folds a 5-tuple into the 64-bit key the stats table hashes,
+// splitmix-mixing both halves so any tuple field perturbs the whole
+// key (the hardware analogue is a hashed flow-key CAM; with 64-bit
+// keys the collision probability at a million flows is ~1e-8).
+func flowKey(t pkt.FiveTuple) uint64 {
+	a := uint64(binary.BigEndian.Uint32(t.Src[:]))<<32 | uint64(binary.BigEndian.Uint32(t.Dst[:]))
+	b := uint64(t.SrcPort)<<32 | uint64(t.DstPort)<<16 | uint64(t.Proto)
+	a ^= (b ^ 0x9e3779b97f4a7c15) * 0xbf58476d1ce4e5b9
+	a ^= a >> 30
+	a *= 0x94d049bb133111eb
+	return a ^ a>>31
 }
 
 // Steer resolves the destination core for a packet.

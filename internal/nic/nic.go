@@ -329,6 +329,7 @@ func (n *NIC) Receive(s *sim.Simulator, p *pkt.Packet) {
 	p.ArrivalTimePS = int64(now)
 	n.stats.RxPackets++
 	n.stats.RxBytes += uint64(p.Len())
+	n.flowdir.Note(fields.Tuple(), p.Len())
 
 	appClass := n.classifier.AppClass(fields.DSCP)
 	inBurst := n.classifier.AccountPacket(now, coreID, p.Len())

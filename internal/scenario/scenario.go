@@ -140,6 +140,78 @@ func (r *RetrySpec) config(i int) *fnet.RetryConfig {
 	}
 }
 
+// ChurnSpec installs a flow-churn client on every client host (see
+// fnet.ChurnConfig): Flows concurrent flows in aggregate — split
+// evenly across clients — each issuing a Zipf-drawn request budget
+// with exponential think times, departing when spent and replaced by
+// a fresh flow after an exponential gap. Flow state lives in compact
+// flow tables and every deadline on hashed timer wheels, so the
+// population scales to a million flows. Churn flows are steered by
+// RSS (no per-flow filter rules — the key space is too large), and
+// the first churn client arms the NIC's per-flow statistics table.
+// Mutually exclusive with the rpc section (both claim client slots).
+type ChurnSpec struct {
+	// Flows is the aggregate concurrent flow population; Requests the
+	// aggregate wire-transmission budget. Both split evenly across the
+	// topology's clients (remainders to the lowest slots).
+	Flows    int    `json:"flows"`
+	Requests uint64 `json:"requests"`
+	// TimeoutUS bounds the per-request response wait (0 = 1000).
+	TimeoutUS float64 `json:"timeoutUS,omitempty"`
+	// ThinkUS is the mean think time between a flow's requests
+	// (0 = 1000); ArrivalGapUS the mean departure→replacement gap
+	// (0 = ThinkUS).
+	ThinkUS      float64 `json:"thinkUS,omitempty"`
+	ArrivalGapUS float64 `json:"arrivalGapUS,omitempty"`
+	// SizeZipfS (>1, 0 = 1.2), MiceFrac (0 = 0.9), MiceMax (0 = 8) and
+	// SizeMax (0 = 128) shape the per-flow budget distribution.
+	SizeZipfS float64 `json:"sizeZipfS,omitempty"`
+	MiceFrac  float64 `json:"miceFrac,omitempty"`
+	MiceMax   uint64  `json:"miceMax,omitempty"`
+	SizeMax   uint64  `json:"sizeMax,omitempty"`
+	// DSCPs round-robin per-flow service classes (empty = DSCP 0).
+	DSCPs []uint8 `json:"dscps,omitempty"`
+	// SrcPorts/DstPorts size the per-flow port spaces (0 = 16384/1).
+	SrcPorts int `json:"srcPorts,omitempty"`
+	DstPorts int `json:"dstPorts,omitempty"`
+	// Seed drives each client's PRNG (client i uses Seed+i).
+	Seed     int64 `json:"seed,omitempty"`
+	FrameLen int   `json:"frameLen,omitempty"`
+	// WheelGranUS and WheelSlots shape the timer wheels (0 = 64us,
+	// 4096 slots).
+	WheelGranUS float64 `json:"wheelGranUS,omitempty"`
+	WheelSlots  int     `json:"wheelSlots,omitempty"`
+}
+
+// config converts to the client-level churn config for client i of
+// nClients (splitting the aggregate population and budget).
+func (c *ChurnSpec) config(i, nClients int) fnet.ChurnConfig {
+	share := func(total uint64) uint64 {
+		n := total / uint64(nClients)
+		if uint64(i) < total%uint64(nClients) {
+			n++
+		}
+		return n
+	}
+	return fnet.ChurnConfig{
+		Flows:      int(share(uint64(c.Flows))),
+		Requests:   share(c.Requests),
+		Timeout:    sim.Duration(c.TimeoutUS * float64(sim.Microsecond)),
+		Think:      sim.Duration(c.ThinkUS * float64(sim.Microsecond)),
+		ArrivalGap: sim.Duration(c.ArrivalGapUS * float64(sim.Microsecond)),
+		SizeZipfS:  c.SizeZipfS,
+		MiceFrac:   c.MiceFrac,
+		MiceMax:    c.MiceMax,
+		SizeMax:    c.SizeMax,
+		DSCPs:      c.DSCPs,
+		SrcPorts:   c.SrcPorts,
+		DstPorts:   c.DstPorts,
+		Seed:       c.Seed + int64(i),
+		WheelGran:  sim.Duration(c.WheelGranUS * float64(sim.Microsecond)),
+		WheelSlots: c.WheelSlots,
+	}
+}
+
 // Topology switches the scenario from a single host to a multi-host
 // cluster: N client hosts reach the DUT through a switch over
 // point-to-point links. NF generator traffic (when present) is routed
@@ -147,10 +219,11 @@ func (r *RetrySpec) config(i int) *fnet.RetryConfig {
 // — instead of injected directly, and an optional RPC section drives
 // request/response load measured end to end.
 type Topology struct {
-	Clients    int      `json:"clients"`
-	ClientLink TopoLink `json:"clientLink"`
-	ServerLink TopoLink `json:"serverLink"`
-	RPC        *RPCSpec `json:"rpc,omitempty"`
+	Clients    int        `json:"clients"`
+	ClientLink TopoLink   `json:"clientLink"`
+	ServerLink TopoLink   `json:"serverLink"`
+	RPC        *RPCSpec   `json:"rpc,omitempty"`
+	Churn      *ChurnSpec `json:"churn,omitempty"`
 	// Shards partitions the cluster into parallel event domains (see
 	// idio.ClusterConfig.Shards); 0 or 1 run everything on one
 	// simulator. Output is byte-identical either way. The -shards CLI
@@ -378,10 +451,10 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("scenario %q: nf %d bursty traffic needs packetsPerBurst and numBursts", sc.Name, i)
 			}
 		case "":
-			// An NF may omit generator traffic only when topology RPC
-			// clients drive it instead.
-			if sc.Topology == nil || sc.Topology.RPC == nil {
-				return fmt.Errorf("scenario %q: nf %d needs traffic (or a topology rpc section)", sc.Name, i)
+			// An NF may omit generator traffic only when topology RPC or
+			// churn clients drive it instead.
+			if sc.Topology == nil || (sc.Topology.RPC == nil && sc.Topology.Churn == nil) {
+				return fmt.Errorf("scenario %q: nf %d needs traffic (or a topology rpc/churn section)", sc.Name, i)
 			}
 		default:
 			return fmt.Errorf("scenario %q: nf %d unknown traffic kind %q", sc.Name, i, nf.Traffic.Kind)
@@ -421,6 +494,21 @@ func (sc Scenario) Validate() error {
 				if err := rpc.Retry.config(0).Validate(); err != nil {
 					return fmt.Errorf("scenario %q: rpc retry: %w", sc.Name, err)
 				}
+			}
+		}
+		if ch := t.Churn; ch != nil {
+			if t.RPC != nil {
+				return fmt.Errorf("scenario %q: topology rpc and churn sections are mutually exclusive", sc.Name)
+			}
+			if ch.Flows < t.Clients {
+				return fmt.Errorf("scenario %q: topology churn needs flows >= clients (%d < %d)", sc.Name, ch.Flows, t.Clients)
+			}
+			if ch.Requests == 0 {
+				return fmt.Errorf("scenario %q: topology churn needs requests", sc.Name)
+			}
+			cc := ch.config(0, t.Clients)
+			if err := cc.Validate(); err != nil {
+				return fmt.Errorf("scenario %q: churn: %w", sc.Name, err)
 			}
 		}
 		if t.ClientLink.AQMTargetUS < 0 || t.ServerLink.AQMTargetUS < 0 ||
@@ -688,6 +776,9 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 			return nil, idio.Results{}, 0, err
 		}
 	}
+	if cl != nil && sc.Topology.Churn != nil {
+		installChurnClients(cl, sc.Topology)
+	}
 	var ant *apps.LLCAntagonist
 	if sc.Antagonist != nil {
 		buf := sys.AllocRegion(uint64(sc.Antagonist.BufKB) << 10)
@@ -720,6 +811,19 @@ func RunSystemOpts(sc Scenario, opts RunOpts) (*idio.System, idio.Results, float
 		cpi = ant.CPI()
 	}
 	return sys, res, cpi, nil
+}
+
+// installChurnClients attaches one flow-churn client per client host,
+// splitting the aggregate population and request budget evenly.
+func installChurnClients(cl *idio.Cluster, topo *Topology) {
+	for i := 0; i < topo.Clients; i++ {
+		ccfg := topo.Churn.config(i, topo.Clients)
+		ccfg.Flow = cl.ClientFlow(i, 0)
+		if topo.Churn.FrameLen > 0 {
+			ccfg.Flow.FrameLen = topo.Churn.FrameLen
+		}
+		cl.AddChurnClient(i, ccfg)
+	}
 }
 
 // installRPCClients attaches one RPC client per client host, round-

@@ -79,6 +79,34 @@ func BenchmarkScheduleDeep(b *testing.B) {
 	}
 }
 
+// BenchmarkWheelArmCancel measures the hashed timer wheel's arm+cancel
+// pair against a standing population of outstanding timers. The O(1)
+// claim of the million-flow engine is that ns/op stays flat from 1k to
+// 1M outstanding — arm is a slab pop plus list append, cancel an
+// unlink, neither touching the population.
+func BenchmarkWheelArmCancel(b *testing.B) {
+	for _, n := range []struct {
+		name string
+		pop  int
+	}{{"1k", 1 << 10}, {"32k", 1 << 15}, {"1M", 1 << 20}} {
+		b.Run(n.name, func(b *testing.B) {
+			s := New()
+			w := NewTimerWheel(s, 64*Microsecond, 4096)
+			fn := func(*Simulator, Arg) {}
+			// Standing population: timers spread across the horizon.
+			for i := 0; i < n.pop; i++ {
+				w.Arm(Duration(i%100_000+1)*Microsecond, fn, Arg{})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := w.Arm(Duration(i%50_000+1)*Microsecond, fn, Arg{})
+				w.Cancel(h)
+			}
+		})
+	}
+}
+
 // TestHotSchedulingPathZeroAllocs is the regression guard behind the
 // observability layer's zero-cost claim: with observability disabled
 // (the simulator never links it at all), the steady-state

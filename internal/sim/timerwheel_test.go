@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// firing records one observed timer callback.
+type firing struct {
+	at Time
+	id uint64
+}
+
+// TestTimerWheelVsHeapProperty drives an identical randomized
+// arm/cancel schedule through the hashed wheel and through a
+// per-event reference on the plain scheduler heap, and asserts both
+// fire the same timers at the same instants in the same order — the
+// wheel analogue of TestTwoLevelVsHeapProperty. The reference encodes
+// the wheel's contract directly: a timer with expiry E fires at
+// ceil(E/gran)*gran, ties in arm order, cancelled timers never fire.
+// The op mix stresses every wheel path: same-tick ties, timers beyond
+// one rotation (cascades), cancels of armed, fired and stale handles,
+// and arm-from-callback re-arming.
+func TestTimerWheelVsHeapProperty(t *testing.T) {
+	total := 200_000
+	if testing.Short() {
+		total = 20_000
+	}
+	const gran = 64 * Microsecond
+	const slots = 256 // small: forces rotation cascades constantly
+
+	type clock struct{ fired []firing }
+	quantize := func(e Time) Time {
+		return Time((uint64(e) + uint64(gran) - 1) / uint64(gran) * uint64(gran))
+	}
+
+	// Wheel run.
+	rng := rand.New(rand.NewSource(99))
+	ws := New()
+	w := NewTimerWheel(ws, gran, slots)
+	var wgot clock
+	fire := func(_ *Simulator, a Arg) {
+		wgot.fired = append(wgot.fired, firing{at: ws.Now(), id: a.U0})
+	}
+	// Reference run: one scheduler event per timer at the quantized
+	// instant; cancels are a live-set removal, so a cancelled timer's
+	// event fires as a no-op — semantically identical, structurally the
+	// legacy per-event pattern.
+	rrng := rand.New(rand.NewSource(99)) // same stream: identical schedule
+	rs := New()
+	live := map[uint64]bool{}
+	var rgot clock
+	rfire := func(_ *Simulator, a Arg) {
+		if live[a.U0] {
+			delete(live, a.U0)
+			rgot.fired = append(rgot.fired, firing{at: rs.Now(), id: a.U0})
+		}
+	}
+
+	run := func(s *Simulator, rng *rand.Rand, arm func(d Duration, id uint64) TimerHandle, cancel func(h TimerHandle, id uint64)) {
+		type armed struct {
+			h  TimerHandle
+			id uint64
+		}
+		var handles []armed
+		var nextID uint64
+		var step Event
+		ops := 0
+		step = func(sm *Simulator) {
+			if ops >= total {
+				return
+			}
+			burst := rng.Intn(16) + 1
+			for i := 0; i < burst && ops < total; i++ {
+				ops++
+				switch r := rng.Intn(100); {
+				case r < 55:
+					// Arm within ~2 rotations; small deltas hit same-tick
+					// ties, large ones cascade.
+					d := Duration(rng.Int63n(int64(gran)*slots*2) + 1)
+					id := nextID
+					nextID++
+					handles = append(handles, armed{h: arm(d, id), id: id})
+				case r < 75 && len(handles) > 0:
+					// Cancel a random handle — possibly already fired
+					// (stale): both sides must treat that as a no-op.
+					k := rng.Intn(len(handles))
+					cancel(handles[k].h, handles[k].id)
+					handles[k] = handles[len(handles)-1]
+					handles = handles[:len(handles)-1]
+				default:
+					// Arm a short timer: fires within a tick or two.
+					d := Duration(rng.Int63n(int64(gran)*3) + 1)
+					id := nextID
+					nextID++
+					handles = append(handles, armed{h: arm(d, id), id: id})
+				}
+			}
+			sm.After(Duration(rng.Int63n(int64(gran)*4)+1), step)
+		}
+		s.At(0, step)
+		s.Run()
+	}
+
+	run(ws, rng,
+		func(d Duration, id uint64) TimerHandle {
+			return w.Arm(d, fire, Arg{U0: id})
+		},
+		func(h TimerHandle, _ uint64) { w.Cancel(h) })
+	run(rs, rrng,
+		func(d Duration, id uint64) TimerHandle {
+			live[id] = true
+			rs.AtArgNamed(quantize(rs.Now().Add(d)), "ref-timer", rfire, Arg{U0: id})
+			return TimerHandle(id)
+		},
+		func(_ TimerHandle, id uint64) { delete(live, id) })
+
+	if len(wgot.fired) != len(rgot.fired) {
+		t.Fatalf("wheel fired %d timers, reference %d", len(wgot.fired), len(rgot.fired))
+	}
+	for i := range wgot.fired {
+		if wgot.fired[i] != rgot.fired[i] {
+			t.Fatalf("firing %d diverges: wheel {at=%v id=%d}, reference {at=%v id=%d}",
+				i, wgot.fired[i].at, wgot.fired[i].id, rgot.fired[i].at, rgot.fired[i].id)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel still holds %d timers after drain", w.Len())
+	}
+	st := w.Stats()
+	if st.Fired+st.Canceled != st.Armed {
+		t.Fatalf("timer accounting leak: armed=%d fired=%d canceled=%d", st.Armed, st.Fired, st.Canceled)
+	}
+	if st.Cascades == 0 {
+		t.Fatal("op mix never cascaded: rotation path untested")
+	}
+}
+
+// TestTimerWheelCancel covers the handle lifecycle: live cancel,
+// double cancel, stale cancel after fire, zero handle, and slot reuse
+// (a recycled slab slot must not honour the old generation's handle).
+func TestTimerWheelCancel(t *testing.T) {
+	s := New()
+	w := NewTimerWheel(s, Microsecond, 64)
+	fired := 0
+	fn := func(*Simulator, Arg) { fired++ }
+
+	h1 := w.Arm(10*Microsecond, fn, Arg{})
+	if !w.Cancel(h1) {
+		t.Fatal("live cancel failed")
+	}
+	if w.Cancel(h1) {
+		t.Fatal("double cancel succeeded")
+	}
+	if w.Cancel(0) {
+		t.Fatal("zero handle cancelled")
+	}
+	h2 := w.Arm(5*Microsecond, fn, Arg{})
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if w.Cancel(h2) {
+		t.Fatal("cancel after fire succeeded")
+	}
+	// h3 reuses h2's slab slot (free-list LIFO); the stale h2 handle
+	// must stay dead.
+	h3 := w.Arm(5*Microsecond, fn, Arg{})
+	if w.Cancel(h2) {
+		t.Fatal("stale handle cancelled a recycled slot")
+	}
+	if !w.Cancel(h3) {
+		t.Fatal("live cancel of recycled slot failed")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+// TestTimerWheelRearmFromCallback checks the collect-then-fire tick:
+// a callback arming a fresh timer (the churn client's timeout-resend
+// pattern) must not be swept into the current tick, and a callback
+// cancelling a later due timer of the same tick must suppress it.
+func TestTimerWheelRearmFromCallback(t *testing.T) {
+	s := New()
+	w := NewTimerWheel(s, Microsecond, 64)
+	var order []uint64
+	var hB TimerHandle
+	var rearm func(*Simulator, Arg)
+	rearm = func(sm *Simulator, a Arg) {
+		order = append(order, a.U0)
+		if a.U0 == 1 {
+			// Fires first (arm order); cancels sibling B (id 2) due in
+			// this same tick, and re-arms itself as id 3 one tick out.
+			w.Cancel(hB)
+			w.Arm(Microsecond, rearm, Arg{U0: 3})
+		}
+	}
+	w.Arm(Microsecond, rearm, Arg{U0: 1})
+	hB = w.Arm(Microsecond, rearm, Arg{U0: 2})
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("fire order = %v, want [1 3]", order)
+	}
+	st := w.Stats()
+	if st.Armed != 3 || st.Fired != 2 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTimerWheelSuspend verifies an emptied wheel stops scheduling
+// tick events (idle wheels must not keep the simulator busy) and
+// resumes cleanly on the next Arm.
+func TestTimerWheelSuspend(t *testing.T) {
+	s := New()
+	w := NewTimerWheel(s, Microsecond, 64)
+	fired := 0
+	fn := func(*Simulator, Arg) { fired++ }
+	w.Arm(3*Microsecond, fn, Arg{})
+	s.Run() // drains: wheel fires, suspends, queue empties
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("idle wheel left %d events queued", s.Pending())
+	}
+	w.Arm(2*Microsecond, fn, Arg{})
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d after resume", fired)
+	}
+	ticks := w.Stats().Ticks
+	if ticks == 0 {
+		t.Fatal("no ticks recorded")
+	}
+}
+
+// TestTimerWheelSteadyStateAllocs proves a warm wheel's arm/cancel
+// cycle never touches the heap — the property that lets a million
+// outstanding timeouts ride one slab.
+func TestTimerWheelSteadyStateAllocs(t *testing.T) {
+	s := New()
+	w := NewTimerWheel(s, Microsecond, 1024)
+	fn := func(*Simulator, Arg) {}
+	hs := make([]TimerHandle, 4096)
+	for i := range hs {
+		hs[i] = w.Arm(Duration(i+1)*Microsecond, fn, Arg{})
+	}
+	k := 0
+	avg := testing.AllocsPerRun(10000, func() {
+		w.Cancel(hs[k])
+		hs[k] = w.Arm(Duration(k%4096+1)*Microsecond, fn, Arg{})
+		k = (k + 1) % 4096
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state arm/cancel allocates %.2f per op", avg)
+	}
+}

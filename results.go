@@ -67,6 +67,36 @@ type RPCResults struct {
 	Classes []RPCClassResult
 }
 
+// ChurnResults aggregates the flow-churn workload's measurements
+// across every churn client of a Cluster run. Nil when no churn
+// clients ran, keeping legacy outputs unchanged.
+type ChurnResults struct {
+	Issued    uint64 // wire transmissions (first sends + resends)
+	Responses uint64
+	Timeouts  uint64
+	Late      uint64
+	// Arrivals/Departures count flow lifecycle events; ActiveFlows is
+	// the resident population at collection time (non-zero when the
+	// horizon cut the run short of draining).
+	Arrivals    uint64
+	Departures  uint64
+	ActiveFlows int
+	// TableLoad is the worst per-client flow-table occupancy fraction;
+	// WheelTicks/WheelCascades sum the hashed-wheel activity.
+	TableLoad     float64
+	WheelTicks    uint64
+	WheelCascades uint64
+	// NICFlowsTracked/NICFlowRefusals snapshot the NIC's per-flow
+	// statistics table: flows resident vs. insertions refused by the
+	// hardware capacity bound.
+	NICFlowsTracked int
+	NICFlowRefusals uint64
+	GoodputBps      float64
+	P50             sim.Duration
+	P99             sim.Duration
+	P999            sim.Duration
+}
+
 // RPCClassResult is one service class's slice of the RPC summary: the
 // clients whose request flow maps to this class, their aggregate
 // counts, goodput, and merged latency percentiles.
@@ -137,6 +167,9 @@ type Results struct {
 	// outputs are unchanged.
 	Fabric *FabricResults
 	RPC    *RPCResults
+	// Churn carries the flow-churn workload summary; nil unless churn
+	// clients ran.
+	Churn *ChurnResults
 
 	// Aborted is non-nil when the run was stopped by the simulator
 	// watchdog rather than reaching its horizon.
@@ -543,6 +576,29 @@ func (r Results) WriteStats(w io.Writer) error {
 			}...)
 		}
 	}
+	if ch := r.Churn; ch != nil {
+		kv = append(kv, []struct {
+			k string
+			v interface{}
+		}{
+			{"churn.issued", ch.Issued},
+			{"churn.responses", ch.Responses},
+			{"churn.timeouts", ch.Timeouts},
+			{"churn.late", ch.Late},
+			{"churn.arrivals", ch.Arrivals},
+			{"churn.departures", ch.Departures},
+			{"churn.active_flows", ch.ActiveFlows},
+			{"churn.table_load", fmt.Sprintf("%.4f", ch.TableLoad)},
+			{"churn.wheel_ticks", ch.WheelTicks},
+			{"churn.wheel_cascades", ch.WheelCascades},
+			{"churn.nic_flows_tracked", ch.NICFlowsTracked},
+			{"churn.nic_flow_refusals", ch.NICFlowRefusals},
+			{"churn.goodput_gbps", fmt.Sprintf("%.3f", ch.GoodputBps/1e9)},
+			{"churn.p50_us", fmt.Sprintf("%.3f", ch.P50.Microseconds())},
+			{"churn.p99_us", fmt.Sprintf("%.3f", ch.P99.Microseconds())},
+			{"churn.p999_us", fmt.Sprintf("%.3f", ch.P999.Microseconds())},
+		}...)
+	}
 	for _, e := range kv {
 		if _, err := fmt.Fprintf(w, "%-30s %v\n", e.k, e.v); err != nil {
 			return err
@@ -624,6 +680,13 @@ func (r Results) String() string {
 				c.Class, c.Clients, c.Issued, c.Responses, c.Timeouts,
 				c.GoodputBps/1e9, c.P50.Microseconds(), c.P99.Microseconds(), c.P999.Microseconds())
 		}
+	}
+	if ch := r.Churn; ch != nil {
+		fmt.Fprintf(&b, "  churn: issued=%d resp=%d timeouts=%d late=%d flows=%d (arr=%d dep=%d) goodput=%.2fGbps p99=%.2fus\n",
+			ch.Issued, ch.Responses, ch.Timeouts, ch.Late, ch.ActiveFlows,
+			ch.Arrivals, ch.Departures, ch.GoodputBps/1e9, ch.P99.Microseconds())
+		fmt.Fprintf(&b, "  churn engine: tableLoad=%.3f wheelTicks=%d cascades=%d nicTracked=%d nicRefused=%d\n",
+			ch.TableLoad, ch.WheelTicks, ch.WheelCascades, ch.NICFlowsTracked, ch.NICFlowRefusals)
 	}
 	if r.PktPool.Outstanding > 0 {
 		fmt.Fprintf(&b, "  pkt pool: outstanding=%d (gets=%d puts=%d allocs=%d hwm=%d)\n",

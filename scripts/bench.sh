@@ -1,7 +1,8 @@
 #!/bin/sh
 # Benchmark baseline runner: benchmarks the figure harness (repo root),
-# the event kernel (internal/sim), the cache hierarchy (internal/hier)
-# and the network fabric (internal/net) with allocation stats, then
+# the event kernel (internal/sim), the cache hierarchy (internal/hier),
+# the network fabric (internal/net) and the compact flow table
+# (internal/flow) with allocation stats, then
 # condenses the raw stream into BENCH_sim.json (benchmark name ->
 # averaged ns/op, B/op, allocs/op and custom metrics) via cmd/benchjson.
 # Each run also appends one labelled line to BENCH_history.jsonl, so
@@ -20,5 +21,5 @@ RAW="${RAW:-${OUT%.json}.txt}"
 HISTORY="${HISTORY:-BENCH_history.jsonl}"
 LABEL="${LABEL:-pr$(git rev-list --count HEAD 2>/dev/null || echo 0)-$(git rev-parse --short HEAD 2>/dev/null || echo unversioned)}"
 
-go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier ./internal/net | tee "$RAW"
+go test -run '^$' -bench . -benchmem -count "$COUNT" . ./internal/sim ./internal/hier ./internal/net ./internal/flow | tee "$RAW"
 go run ./cmd/benchjson -o "$OUT" -history "$HISTORY" -label "$LABEL" "$RAW"

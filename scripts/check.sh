@@ -21,9 +21,13 @@ go test -run '^$' -bench . -benchtime=1x ./...
 # Perf gate, part 1: the fused packet-lifecycle smoke must run, and the
 # steady-state loop must stay at zero heap allocations per packet —
 # TestAllocsPerPacket measures the steady window directly and fails the
-# gate on any per-packet allocation (see alloc_test.go).
+# gate on any per-packet allocation (see alloc_test.go). The same gate
+# covers the million-flow engine (TestChurnAllocsPerRequest: 128k
+# resident flows churning at zero allocs per request) and the pooled
+# fabric benchmarks (link transit and switch forwarding at 0 allocs/op).
 go test -run '^$' -bench 'BenchmarkPacketLifecycle' -benchtime=1x -benchmem .
-go test -run 'TestAllocsPerPacket|TestNullPoolByteIdentical' -count=1 .
+go test -run 'TestAllocsPerPacket|TestNullPoolByteIdentical|TestChurnAllocsPerRequest' -count=1 .
+go test -run '^$' -bench 'BenchmarkLinkTransit|BenchmarkSwitchForward' -benchtime=1x -benchmem ./internal/net
 # Observability smoke: run a short traced scenario and validate that
 # the Chrome trace and the metrics JSON both parse.
 obsdir=$(mktemp -d)
@@ -68,15 +72,29 @@ if grep -q "pkt pool: outstanding=" "$obsdir/chaos_scenario.txt"; then
     echo "chaos scenario leaked packets" >&2
     exit 1
 fi
+# Churn smoke: the million-flow sweep must run with byte-identical
+# tables for serial and parallel cells, and the churn scenario — whose
+# per-flow state lives in the compact flow table with every deadline on
+# the hashed timer wheel — must stay byte-identical between
+# single-domain and sharded runs, stats dump included.
+go run ./cmd/idiosim -exp churn -quick -j 2 > "$obsdir/churn.txt"
+go run ./cmd/idiosim -exp churn -quick -j 1 | cmp - "$obsdir/churn.txt"
+go run ./cmd/idiosim -scenario scenarios/churn_flows.json \
+    -stats "$obsdir/churn1.stats" > "$obsdir/churn1.out"
+go run ./cmd/idiosim -scenario scenarios/churn_flows.json -shards 4 \
+    -stats "$obsdir/churn4.stats" > "$obsdir/churn4.out"
+cmp "$obsdir/churn1.out" "$obsdir/churn4.out"
+cmp "$obsdir/churn1.stats" "$obsdir/churn4.stats"
 # Pool-leak gate after the chaos smokes: the lossy-fabric regression
 # test asserts PktPool.Outstanding == 0 with every resilience path hit.
 go test -run 'TestLossyFabricNoPoolLeak|TestClusterAllocsPerRequest' -count=1 .
-# Perf gate, part 2: compare a quick lifecycle run against the
-# committed baseline; benchjson prints a WARNING for every >10% ns/pkt
+# Perf gate, part 2: compare quick lifecycle runs — the packet loop and
+# the million-flow churn loop — against the committed baseline;
+# benchjson prints a WARNING for every >10% ns/pkt (or ns/req)
 # regression. Advisory, not failing — wall-clock numbers on shared
 # machines are too noisy for a hard gate, but the warning lands in the
 # check output where a reviewer will see it.
 if [ -f BENCH_sim.json ]; then
-    go test -run '^$' -bench 'BenchmarkPacketLifecycle' -benchmem -benchtime=3x . > "$obsdir/lifecycle.txt"
+    go test -run '^$' -bench 'BenchmarkPacketLifecycle|BenchmarkMillionFlowSteadyState' -benchmem -benchtime=3x . > "$obsdir/lifecycle.txt"
     go run ./cmd/benchjson -baseline BENCH_sim.json -o "$obsdir/lifecycle.json" "$obsdir/lifecycle.txt"
 fi
